@@ -1,0 +1,75 @@
+"""Sharp vs fuzzy checkpoints: the §2.3.3 trade, measured.
+
+The paper implements LC against SQL Server's *sharp* checkpoints (flush
+everything, fast restart) and repeatedly notes the alternative: fuzzy
+checkpoints make the checkpoint itself nearly free but push work to
+restart — and the more dirty pages LC parks in the SSD (higher λ), the
+longer that restart gets.  This bench measures checkpoint cost and
+restart redo volume under both policies.
+"""
+
+import random
+
+from benchmarks.common import once
+from repro.core import SsdDesignConfig
+from repro.engine.recovery import simulate_crash_and_recover
+from repro.harness.system import System, SystemConfig
+from repro.harness.report import format_table
+from tests.conftest import drive, settle
+
+
+def run_one(policy, lam):
+    system = System(SystemConfig(
+        design="LC", db_pages=2_000, bp_pages=128,
+        checkpoint_policy=policy,
+        ssd=SsdDesignConfig(ssd_frames=700, dirty_threshold=lam)))
+    rng = random.Random(41)
+
+    def worker():
+        for _ in range(400):
+            frame = yield from system.bp.fetch(rng.randrange(1_000))
+            system.bp.mark_dirty(frame)
+            system.bp.unpin(frame)
+            yield from system.wal.force(system.wal.tail_lsn)
+
+    procs = [system.env.process(worker()) for _ in range(4)]
+    system.env.run(system.env.all_of(procs))
+    settle(system.env)
+    drive(system.env, system.checkpointer.checkpoint())
+    checkpoint_cost = system.checkpointer.durations[0]
+    restart_start = system.env.now
+    redone = drive(system.env,
+                   simulate_crash_and_recover(system.env, system))
+    restart_time = system.env.now - restart_start
+    return checkpoint_cost, redone, restart_time
+
+
+def test_checkpoint_policy_tradeoff(benchmark):
+    def run():
+        return {
+            (policy, lam): run_one(policy, lam)
+            for policy in ("sharp", "fuzzy")
+            for lam in (0.1, 0.9)
+        }
+
+    results = once(benchmark, run)
+    rows = [
+        [policy, f"{lam:.0%}", f"{cost:.3f}s", f"{redone:,}",
+         f"{restart:.3f}s"]
+        for (policy, lam), (cost, redone, restart) in results.items()
+    ]
+    print()
+    print(format_table(
+        "Checkpoint policy trade (LC): cost now vs redo at restart",
+        ["policy", "lambda", "checkpoint cost", "pages redone",
+         "restart time"], rows))
+
+    for lam in (0.1, 0.9):
+        sharp_cost, sharp_redo, sharp_restart = results[("sharp", lam)]
+        fuzzy_cost, fuzzy_redo, fuzzy_restart = results[("fuzzy", lam)]
+        # Fuzzy: near-free checkpoint, more restart work.
+        assert fuzzy_cost < sharp_cost / 5, lam
+        assert fuzzy_redo >= sharp_redo, lam
+        assert fuzzy_restart >= sharp_restart, lam
+    # Higher λ makes the fuzzy restart strictly heavier.
+    assert results[("fuzzy", 0.9)][1] >= results[("fuzzy", 0.1)][1]

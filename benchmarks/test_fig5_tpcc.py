@@ -1,0 +1,52 @@
+"""Figure 5(a–c): TPC-C speedups of DW/LC/TAC over noSSD.
+
+Paper (steady-state tpmC speedups, checkpointing effectively off, λ=50%):
+
+    1K warehouses (100 GB):  DW 2.2x   LC 9.1x   TAC 1.9x
+    2K warehouses (200 GB):  DW 1.9x   LC 9.4x   TAC 1.4x
+    4K warehouses (400 GB):  DW 2.2x   LC 6.2x   TAC 1.9x
+
+Shape targets: every design beats noSSD; LC wins by a wide margin
+(write-back absorbs TPC-C's re-dirtied hot pages); DW >= TAC.
+"""
+
+import pytest
+
+from benchmarks.common import oltp_run, once
+from repro.harness.experiments import speedup_over_nossd
+from repro.harness.report import format_speedups
+
+SCALES = {1_000: "(a) 1K warehouses", 2_000: "(b) 2K warehouses",
+          4_000: "(c) 4K warehouses"}
+PAPER = {
+    1_000: {"DW": 2.2, "LC": 9.1, "TAC": 1.9},
+    2_000: {"DW": 1.9, "LC": 9.4, "TAC": 1.4},
+    4_000: {"DW": 2.2, "LC": 6.2, "TAC": 1.9},
+}
+
+
+@pytest.mark.parametrize("scale", sorted(SCALES))
+def test_fig5_tpcc_speedups(benchmark, scale):
+    def run():
+        return {
+            design: oltp_run("tpcc", scale, design).steady_state_throughput()
+            for design in ("noSSD", "DW", "LC", "TAC")
+        }
+
+    throughputs = once(benchmark, run)
+    speedups = speedup_over_nossd(throughputs)
+    print()
+    print(format_speedups(
+        f"Figure 5 {SCALES[scale]} — TPC-C speedup over noSSD "
+        f"(paper: {PAPER[scale]})",
+        {SCALES[scale]: speedups}))
+    # Shape assertions (who wins, roughly by what factor).  At 4K the
+    # working set far exceeds the SSD, so LC's margin narrows (the paper
+    # shows the same: LC/DW is 4.8x at 1K/2K but 2.8x at 4K).
+    lc_margin = 2.0 if scale < 4_000 else 1.5
+    assert speedups["LC"] > 3.0, speedups
+    assert speedups["LC"] > lc_margin * speedups["DW"], speedups
+    assert speedups["LC"] > lc_margin * speedups["TAC"], speedups
+    assert speedups["DW"] > 1.2, speedups
+    assert speedups["TAC"] > 1.1, speedups
+    assert speedups["DW"] >= 0.85 * speedups["TAC"], speedups

@@ -1,0 +1,62 @@
+"""Figure 5(d–f): TPC-E speedups of DW/LC/TAC over noSSD.
+
+Paper (tpsE speedups, 40-minute checkpoints, λ=1%):
+
+    10K customers (115 GB): DW 5.5x  LC 5.4x  TAC 5.2x
+    20K customers (230 GB): DW 8.0x  LC 7.6x  TAC 7.5x
+    40K customers (415 GB): DW 2.7x  LC 2.7x  TAC 3.0x
+
+Shape targets: the benchmark is read-intensive, so the three designs
+perform similarly (LC's write-back advantage is gone), and the gain
+peaks at 20K customers, where the working set roughly matches the SSD.
+"""
+
+import pytest
+
+from benchmarks.common import CHECKPOINT_40MIN, oltp_run, once
+from repro.harness.experiments import speedup_over_nossd
+from repro.harness.report import format_speedups
+
+SCALES = {10: "(d) 10K customers", 20: "(e) 20K customers",
+          40: "(f) 40K customers"}
+PAPER = {
+    10: {"DW": 5.5, "LC": 5.4, "TAC": 5.2},
+    20: {"DW": 8.0, "LC": 7.6, "TAC": 7.5},
+    40: {"DW": 2.7, "LC": 2.7, "TAC": 3.0},
+}
+
+
+def tpce_speedups(scale):
+    throughputs = {
+        design: oltp_run("tpce", scale, design,
+                         checkpoint_interval=CHECKPOINT_40MIN,
+                         ).steady_state_throughput()
+        for design in ("noSSD", "DW", "LC", "TAC")
+    }
+    return speedup_over_nossd(throughputs)
+
+
+@pytest.mark.parametrize("scale", sorted(SCALES))
+def test_fig5_tpce_speedups(benchmark, scale):
+    speedups = once(benchmark, lambda: tpce_speedups(scale))
+    print()
+    print(format_speedups(
+        f"Figure 5 {SCALES[scale]} — TPC-E speedup over noSSD "
+        f"(paper: {PAPER[scale]})",
+        {SCALES[scale]: speedups}))
+    for design in ("DW", "LC", "TAC"):
+        assert speedups[design] > 1.5, speedups
+    # Read-intensive: designs within ~2x of each other ("similar gains").
+    values = [speedups[d] for d in ("DW", "LC", "TAC")]
+    assert max(values) < 2.5 * min(values), speedups
+
+
+def test_fig5_tpce_peak_at_working_set_fit(benchmark):
+    """§4.3: 'the performance gains are the highest with the 20K
+    customer database' — the working-set-vs-SSD crossover."""
+    def run():
+        return {scale: tpce_speedups(scale)["DW"] for scale in (10, 20, 40)}
+
+    gains = once(benchmark, run)
+    print("\nDW speedup by scale:", {k: round(v, 2) for k, v in gains.items()})
+    assert gains[20] > gains[40], gains

@@ -1,0 +1,82 @@
+"""Figure 5(g–h) and Table 3: TPC-H results.
+
+Paper Table 3:
+
+    30 SF:   LC    DW    TAC   noSSD        100 SF:  LC    DW    TAC   noSSD
+    Power    5978  5917  6386  2733         Power    3836  3204  3705  1536
+    Thpt     5601  6643  5639  1229         Thpt     3228  3691  3235   953
+    QphH     5787  6269  6001  1832         QphH     3519  3439  3462  1210
+
+Shape targets: all three SSD designs similar (read-intensive); overall
+QphH speedups ~3.4x (30 SF) and ~2.9x (100 SF); the SSD helps the
+throughput test (concurrent streams → random I/O) more than the power
+test; noSSD's power exceeds its throughput number.
+"""
+
+import pytest
+
+from benchmarks.common import once, tpch_run
+from repro.harness.report import format_table
+
+PAPER = {
+    30: {"LC": 5787, "DW": 6269, "TAC": 6001, "noSSD": 1832},
+    100: {"LC": 3519, "DW": 3439, "TAC": 3462, "noSSD": 1210},
+}
+
+
+def run_all(sf):
+    return {design: tpch_run(sf, design)
+            for design in ("LC", "DW", "TAC", "noSSD")}
+
+
+@pytest.mark.parametrize("sf", [30, 100])
+def test_table3_power_throughput_qphh(benchmark, sf):
+    results = once(benchmark, lambda: run_all(sf))
+    rows = [
+        [design, f"{r.power:,.0f}", f"{r.throughput:,.0f}",
+         f"{r.qphh:,.0f}", f"{PAPER[sf][design]:,}"]
+        for design, r in results.items()
+    ]
+    print()
+    print(format_table(
+        f"Table 3 — TPC-H @{sf} SF (QphH paper column for reference)",
+        ["design", "power", "throughput", "QphH", "paper QphH"], rows))
+
+    base = results["noSSD"]
+    for design in ("LC", "DW", "TAC"):
+        qphh_speedup = results[design].qphh / base.qphh
+        assert qphh_speedup > 2.0, (design, qphh_speedup)
+    # The three designs perform similarly on this read-intensive load.
+    qphhs = [results[d].qphh for d in ("LC", "DW", "TAC")]
+    assert max(qphhs) < 1.5 * min(qphhs)
+    # noSSD: power test beats throughput test (interleaved streams
+    # destroy the disks' sequential bandwidth).
+    assert base.power > base.throughput
+
+
+@pytest.mark.parametrize("sf", [30, 100])
+def test_fig5_tpch_throughput_gain_exceeds_power_gain(benchmark, sf):
+    """§4.4: 'The SSD designs are more effective in improving the
+    performance of the throughput test than the power test' (DW @30 SF:
+    2.2x power vs 5.4x throughput)."""
+    results = once(benchmark, lambda: run_all(sf))
+    base = results["noSSD"]
+    for design in ("LC", "DW", "TAC"):
+        power_gain = results[design].power / base.power
+        throughput_gain = results[design].throughput / base.throughput
+        print(f"{design} @{sf}SF: power x{power_gain:.2f} "
+              f"throughput x{throughput_gain:.2f}")
+        assert throughput_gain > power_gain, (design, sf)
+
+
+def test_fig5_tpch_speedup_band(benchmark):
+    """Figure 5(g–h): up to ~3.4x at 30 SF, ~2.9x at 100 SF."""
+    def run():
+        return {sf: run_all(sf) for sf in (30, 100)}
+
+    both = once(benchmark, run)
+    for sf, results in both.items():
+        base = results["noSSD"].qphh
+        for design in ("LC", "DW", "TAC"):
+            speedup = results[design].qphh / base
+            assert 1.5 < speedup < 8.0, (sf, design, speedup)

@@ -1,0 +1,67 @@
+"""Figure 7: the effect of LC's dirty-fraction threshold λ on TPC-C.
+
+Paper (4K warehouses): λ=90% gives 3.1x the steady-state throughput of
+λ=10% and 1.6x that of λ=50%, because a larger λ lets the SSD absorb
+more dirty-page traffic: the cleaner issued 950/769/521 disk IOPS at
+λ=10/50/90%.
+
+What reproduces at compressed scale: the *mechanism* — λ sets the dirty
+ceiling (λ=90% holds ~9x the dirty pages of λ=10%), and the cleaner does
+strictly more write-back work at smaller λ.  The throughput *magnitude*
+does not reproduce: with a 2,000-frame memory pool absorbing most
+re-dirtying, the cleaner's inflow is ~25% of the disk budget rather than
+the paper's ~95%, and dirty evictions that overflow a λ=90% SSD fall
+back to direct disk writes, costing about what the λ=10% cleaner costs.
+EXPERIMENTS.md discusses the deviation.
+"""
+
+from benchmarks.common import oltp_run, once
+from repro.harness.report import format_table
+
+LAMBDAS = (0.10, 0.50, 0.90)
+
+
+def run_sweep():
+    return {
+        lam: oltp_run("tpcc", 4_000, "LC", dirty_threshold=lam)
+        for lam in LAMBDAS
+    }
+
+
+def test_fig7_lambda_sweep(benchmark):
+    results = once(benchmark, run_sweep)
+    throughputs = {lam: r.steady_state_throughput()
+                   for lam, r in results.items()}
+    dirty = {lam: r.system.ssd_manager.dirty_frames
+             for lam, r in results.items()}
+    cleaner = {lam: r.system.ssd_manager.stats.cleaner_pages
+               for lam, r in results.items()}
+    rows = [
+        [f"{lam:.0%}", f"{throughputs[lam]:,.0f}", f"{dirty[lam]:,}",
+         f"{cleaner[lam]:,}"]
+        for lam in LAMBDAS
+    ]
+    print()
+    print(format_table(
+        "Figure 7 — LC λ sweep, TPC-C 4K warehouses "
+        "(paper: 90% ≈ 3.1x 10% tpmC; cleaner 521 vs 950 IOPS)",
+        ["lambda", "steady tpmC", "dirty SSD pages", "cleaner pages"],
+        rows))
+    # Smaller λ forces more write-back work on the cleaner (the paper's
+    # 950 vs 521 cleaner IOPS at λ=10% vs 90%).
+    assert cleaner[0.10] > cleaner[0.90]
+    # Larger λ never hurts throughput (the paper's direction, with a
+    # tolerance reflecting the magnitude deviation documented above).
+    assert throughputs[0.90] >= 0.95 * throughputs[0.10]
+    assert throughputs[0.90] >= 0.95 * throughputs[0.50]
+
+
+def test_fig7_cleaner_is_busy_at_low_lambda(benchmark):
+    """At λ=10% the cleaner runs continuously — its sustained write-back
+    rate is in the paper's hundreds-of-IOPS band."""
+    result = once(benchmark, lambda: run_sweep()[0.10])
+    manager = result.system.ssd_manager
+    rate = manager.stats.cleaner_pages / result.duration
+    print(f"\ncleaner wrote {manager.stats.cleaner_pages:,} pages "
+          f"({rate:,.0f} pages/s; paper measured 950 IOPS at lambda=10%)")
+    assert rate > 50

@@ -1,0 +1,28 @@
+"""Table 1: maximum sustainable IOPS per device at 8 KB.
+
+Paper values (disk write caching off):
+
+    READ   random/seq   8 HDDs 1,015 / 26,370   SSD 12,182 / 15,980
+    WRITE  random/seq   8 HDDs   895 /  9,463   SSD 12,374 / 14,965
+"""
+
+from benchmarks.common import once
+from repro.harness.report import format_table
+from repro.storage.iometer import run_table1
+
+
+def test_table1_device_iops(benchmark):
+    table = once(benchmark, lambda: run_table1(duration=5.0))
+    rows = [
+        [name, f"{measured:,.0f}", f"{paper:,}", f"{measured / paper:.3f}"]
+        for name, measured, paper in table.rows()
+    ]
+    print()
+    print(format_table("Table 1 — sustained IOPS (8 KB I/Os)",
+                       ["device/pattern", "measured", "paper", "ratio"],
+                       rows))
+    for name, measured, paper in table.rows():
+        assert abs(measured / paper - 1.0) < 0.05, name
+    # The two structural facts the paper's design rests on:
+    assert table.ssd_random_read / table.hdd_random_read > 10
+    assert table.hdd_sequential_read > table.ssd_sequential_read

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``iometer`` — regenerate the paper's Table 1 device measurements.
+* ``oltp``    — run a TPC-C/E-like experiment for one or more designs
+  and print throughputs, speedups, and SSD statistics.
+* ``tpch``    — run the TPC-H power + throughput tests.
+* ``designs`` — list the available SSD designs with one-line summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import DESIGNS
+from repro.harness.experiments import (
+    SCALE_PROFILES,
+    run_oltp_experiment,
+    run_tpch_experiment,
+    speedup_over_nossd,
+)
+from repro.harness.report import format_table
+
+DESIGN_SUMMARIES = {
+    "noSSD": "unmodified engine (baseline)",
+    "CW": "clean-write: dirty evictions never cached (§2.3.1)",
+    "DW": "dual-write: write-through dirty evictions (§2.3.2)",
+    "LC": "lazy-cleaning: write-back with a cleaner thread (§2.3.3)",
+    "TAC": "temperature-aware caching (Canim et al., the paper's baseline)",
+    "ROT": "rotating circular SSD queue (Holloway, related work §5)",
+    "EXCL": "exclusive two-level cache (Koltsidas & Viglas, related work §5)",
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", choices=sorted(SCALE_PROFILES),
+                        default="small",
+                        help="scale profile (default: small)")
+    parser.add_argument("--designs", default="noSSD,DW,LC,TAC",
+                        help="comma-separated designs (see `designs`)")
+
+
+def cmd_iometer(args) -> int:
+    """Regenerate the paper's Table 1 with the device models."""
+    from repro.storage.iometer import run_table1
+    table = run_table1(duration=args.duration)
+    rows = [[name, f"{measured:,.0f}", f"{paper:,}",
+             f"{measured / paper:.3f}"]
+            for name, measured, paper in table.rows()]
+    print(format_table("Table 1 — sustained IOPS (8 KB I/Os)",
+                       ["device/pattern", "measured", "paper", "ratio"],
+                       rows))
+    return 0
+
+
+def cmd_designs(args) -> int:
+    """List the available SSD designs."""
+    rows = [[name, DESIGN_SUMMARIES.get(name, "")] for name in DESIGNS]
+    print(format_table("SSD buffer-pool extension designs",
+                       ["name", "summary"], rows))
+    return 0
+
+
+def cmd_oltp(args) -> int:
+    """Run an OLTP experiment across designs and print the table."""
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = [d for d in designs if d not in DESIGNS]
+    if unknown:
+        print(f"unknown designs: {unknown}; try `python -m repro designs`",
+              file=sys.stderr)
+        return 2
+    profile = SCALE_PROFILES[args.profile]
+    results = {}
+    for design in designs:
+        results[design] = run_oltp_experiment(
+            args.benchmark, args.scale, design, duration=args.duration,
+            profile=profile, nworkers=args.workers,
+            dirty_threshold=args.dirty_threshold,
+            checkpoint_interval=args.checkpoint_interval)
+        print(f"ran {design}", file=sys.stderr)
+    throughputs = {d: r.steady_state_throughput()
+                   for d, r in results.items()}
+    speedups = speedup_over_nossd(throughputs)
+    metric = next(iter(results.values())).metric_name
+    rows = []
+    for design in designs:
+        result = results[design]
+        manager = result.system.ssd_manager
+        rows.append([
+            design,
+            f"{throughputs[design]:,.1f}",
+            (f"{speedups[design]:.2f}x" if "noSSD" in throughputs else "-"),
+            f"{result.system.bp.stats.ssd_hit_rate:.1%}",
+            f"{manager.used_frames:,}",
+            f"{manager.dirty_frames:,}",
+        ])
+    print(format_table(
+        f"{args.benchmark.upper()} scale={args.scale} "
+        f"({args.duration:.0f} virtual s, profile={args.profile})",
+        ["design", metric, "speedup", "SSD hit", "SSD used", "SSD dirty"],
+        rows))
+    return 0
+
+
+def cmd_tpch(args) -> int:
+    """Run the TPC-H power + throughput tests across designs."""
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    profile = SCALE_PROFILES[args.profile]
+    rows = []
+    for design in designs:
+        result = run_tpch_experiment(args.sf, design, profile=profile)
+        rows.append([design, f"{result.power:,.0f}",
+                     f"{result.throughput:,.0f}", f"{result.qphh:,.0f}"])
+        print(f"ran {design}", file=sys.stderr)
+    print(format_table(f"TPC-H @{args.sf} SF (profile={args.profile})",
+                       ["design", "QppH", "QthH", "QphH"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSD buffer-pool extension reproduction (SIGMOD 2011)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_iometer = sub.add_parser("iometer", help="regenerate Table 1")
+    p_iometer.add_argument("--duration", type=float, default=5.0)
+    p_iometer.set_defaults(func=cmd_iometer)
+
+    p_designs = sub.add_parser("designs", help="list available designs")
+    p_designs.set_defaults(func=cmd_designs)
+
+    p_oltp = sub.add_parser("oltp", help="run a TPC-C/E-like experiment")
+    p_oltp.add_argument("--benchmark", choices=("tpcc", "tpce"),
+                        default="tpcc")
+    p_oltp.add_argument("--scale", type=int, default=1_000,
+                        help="warehouses (tpcc) or customers/1000 (tpce)")
+    p_oltp.add_argument("--duration", type=float, default=30.0,
+                        help="virtual seconds")
+    p_oltp.add_argument("--workers", type=int, default=16)
+    p_oltp.add_argument("--dirty-threshold", type=float, default=None,
+                        help="LC lambda (default: the paper's per-benchmark value)")
+    p_oltp.add_argument("--checkpoint-interval", type=float, default=None,
+                        help="virtual seconds between checkpoints")
+    _add_common(p_oltp)
+    p_oltp.set_defaults(func=cmd_oltp)
+
+    p_tpch = sub.add_parser("tpch", help="run TPC-H power+throughput tests")
+    p_tpch.add_argument("--sf", type=int, choices=(30, 100), default=30)
+    _add_common(p_tpch)
+    p_tpch.set_defaults(func=cmd_tpch)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

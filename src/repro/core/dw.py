@@ -1,0 +1,46 @@
+"""The Dual-Write (DW) design (§2.3.2).
+
+A dirty page evicted from the buffer pool is written "simultaneously" to
+both the database on disk and (if it qualifies for admission) the SSD —
+a write-through cache for dirty pages.  SSD and disk copies therefore
+stay identical (barring a crash between the two writes, which recovery
+repairs from the log), so checkpoint/recovery logic is unchanged.
+
+DW also implements the §3.2 checkpoint extension: dirty pages flushed by
+a checkpoint that are marked *random* are written to the SSD as well as
+the disk, filling the SSD faster with useful data.
+"""
+
+from __future__ import annotations
+
+from repro.core.ssd_manager import SsdManagerBase
+from repro.engine.page import Frame
+
+
+class DualWriteManager(SsdManagerBase):
+    """DW: write-through caching of dirty evictions."""
+
+    name = "DW"
+
+    def on_evict_dirty(self, frame: Frame):
+        """Write to disk and SSD in parallel; the frame is reusable when
+        both complete (the paper's "synchronize dirty page writes")."""
+        disk_write = self.env.process(
+            self.disk.write(frame.page_id, frame.version, sequential=False))
+        if self.admission.qualifies(frame, self.used_frames):
+            ssd_write = self.env.process(
+                self._cache_page(frame.page_id, frame.version, dirty=False))
+            yield self.env.all_of([disk_write, ssd_write])
+        else:
+            yield disk_write
+
+    def checkpoint_write(self, frame: Frame):
+        """§3.2: checkpointed dirty random pages also prime the SSD."""
+        disk_write = self.env.process(
+            self.disk.write(frame.page_id, frame.version, sequential=False))
+        if not frame.sequential:
+            ssd_write = self.env.process(
+                self._cache_page(frame.page_id, frame.version, dirty=False))
+            yield self.env.all_of([disk_write, ssd_write])
+        else:
+            yield disk_write

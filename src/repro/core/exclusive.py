@@ -1,0 +1,77 @@
+"""The exclusive multi-level caching design (Koltsidas & Viglas 2009),
+described in the paper's §5.
+
+A page never exists in both the memory buffer pool and the SSD:
+
+* when a page is read from the SSD into memory, the SSD copy is removed
+  (its frame freed);
+* when a page is evicted from the memory pool, it is written to the SSD
+  (clean or dirty — the SSD may hold the newest copy, so it shares LC's
+  checkpoint obligation).
+
+Exclusivity maximises the *combined* cache capacity (no duplication) but
+pays an SSD write on every re-admission: a page bouncing between the
+levels is written to the SSD each time it leaves memory, where the
+inclusive designs find their copy still cached.  The design-comparison
+benchmark measures that trade.
+"""
+
+from __future__ import annotations
+
+from repro.core.ssd_manager import SsdManagerBase
+from repro.engine.page import Frame
+
+
+class ExclusiveSsdManager(SsdManagerBase):
+    """Exclusive two-level cache: memory and SSD hold disjoint pages."""
+
+    name = "EXCL"
+
+    def _read_record(self, record):
+        """Serve the read, then *remove* the SSD copy (exclusivity).
+
+        If the SSD held the newest copy, the caller's memory frame now
+        holds it; the WAL still protects it, and eviction will rewrite
+        it to the SSD or disk.
+        """
+        version = record.version
+        self.stats.reads += 1
+        frame_no = record.frame_no
+        self._drop_record(record)
+        yield self.device.read(frame_no, 1, random=True)
+        return version
+
+    def on_evict_clean(self, frame: Frame):
+        if not self.admission.qualifies(frame, self.used_frames):
+            if frame.version > self.disk.disk_version(frame.page_id):
+                yield from self.disk.write(frame.page_id, frame.version,
+                                           sequential=False)
+            return
+        dirty = frame.version > self.disk.disk_version(frame.page_id)
+        cached = yield from self._cache_page(frame.page_id, frame.version,
+                                             dirty=dirty)
+        if dirty and not cached:
+            yield from self.disk.write(frame.page_id, frame.version,
+                                       sequential=False)
+
+    def on_evict_dirty(self, frame: Frame):
+        if self.admission.qualifies(frame, self.used_frames):
+            cached = yield from self._cache_page(frame.page_id,
+                                                 frame.version, dirty=True)
+            if cached:
+                return
+        yield from self.disk.write(frame.page_id, frame.version,
+                                   sequential=False)
+
+    def on_checkpoint(self):
+        """Dirty SSD pages hold the newest copies: flush them, as LC does."""
+        for record in list(self.table.occupied_records()):
+            if not (record.valid and record.dirty):
+                continue
+            if record.version > self.disk.disk_version(record.page_id):
+                yield self.device.read(record.frame_no, 1, random=True)
+                yield from self.disk.write(record.page_id, record.version,
+                                           sequential=False)
+            self.table.set_dirty(record, False)
+            self.clean_heap.push(record)
+            self.stats.checkpoint_ssd_flushes += 1

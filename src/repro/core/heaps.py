@@ -1,0 +1,85 @@
+"""Victim-selection heaps for the SSD manager (the paper's Figure 4).
+
+The paper keeps one array holding two heaps: a *clean heap* growing from
+the left (root = oldest clean page, the replacement victim) and a *dirty
+heap* growing from the right (root = oldest dirty page, the next page the
+LC cleaner writes back).  Both are ordered by the SSD replacement policy
+(LRU-2).
+
+The reproduction implements each heap as a lazy-deletion binary heap: an
+entry is pushed on every (re)insertion with a stamp; stale entries (the
+record moved heaps, was freed, or was re-accessed) are discarded at pop
+time.  The observable behaviour — which record is selected — is identical
+to the paper's in-place structure; only the memory layout differs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.ssd_buffer_table import SsdRecord
+
+
+class LazyMinHeap:
+    """A min-heap of SSD records with lazy deletion.
+
+    ``key`` extracts the ordering value from a record (LRU-2 penultimate
+    access time for the clean/dirty heaps, extent temperature for TAC).
+    ``member`` decides at pop time whether a record still belongs to this
+    heap; entries that fail it, or whose pushed stamp is stale, are
+    dropped silently.
+    """
+
+    def __init__(self, key: Callable[[SsdRecord], float],
+                 member: Callable[[SsdRecord], bool]):
+        self._key = key
+        self._member = member
+        self._heap: List[Tuple[float, int, SsdRecord]] = []
+        self._stamps: Dict[int, int] = {}
+        self._next_stamp = 0
+
+    def __len__(self) -> int:
+        """Upper bound on live entries (lazy entries inflate it)."""
+        return len(self._heap)
+
+    def push(self, record: SsdRecord) -> None:
+        """(Re)insert a record with its current key."""
+        self._next_stamp += 1
+        self._stamps[record.frame_no] = self._next_stamp
+        heapq.heappush(self._heap,
+                       (self._key(record), self._next_stamp, record))
+
+    def remove(self, record: SsdRecord) -> None:
+        """Lazily remove a record (its entries become stale)."""
+        self._stamps.pop(record.frame_no, None)
+
+    def pop(self) -> Optional[SsdRecord]:
+        """Remove and return the minimum live record, or None if empty."""
+        while self._heap:
+            key, stamp, record = heapq.heappop(self._heap)
+            if self._stamps.get(record.frame_no) != stamp:
+                continue
+            if not self._member(record):
+                del self._stamps[record.frame_no]
+                continue
+            if self._key(record) != key:
+                # Key changed since push (e.g. re-accessed): reinsert with
+                # the fresh key and keep looking.
+                self.push(record)
+                continue
+            del self._stamps[record.frame_no]
+            return record
+        return None
+
+    def peek(self) -> Optional[SsdRecord]:
+        """The minimum live record without removing it, or None."""
+        record = self.pop()
+        if record is not None:
+            self.push(record)
+        return record
+
+    def clear(self) -> None:
+        """Drop every entry (cold restart)."""
+        self._heap.clear()
+        self._stamps.clear()

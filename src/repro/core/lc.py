@@ -1,0 +1,197 @@
+"""The Lazy-Cleaning (LC) design (§2.3.3, §3.3.5).
+
+Dirty pages evicted from the buffer pool are written *only* to the SSD
+(write-back).  A background lazy-cleaning thread copies dirty SSD pages
+back to disk:
+
+* it wakes when the dirty fraction of the SSD exceeds λ and drains until
+  slightly below it (``clean_slack``);
+* each pass gathers up to α dirty pages with consecutive disk addresses
+  and writes them to disk with a single I/O (*group cleaning*);
+* pages cannot move SSD→disk directly — they are read into memory first,
+  so cleaning consumes both SSD read and disk write bandwidth (this is
+  the throughput drop visible in Figure 6 when the λ threshold is first
+  crossed).
+
+Because the SSD can hold the newest copy of a page, LC changes the sharp
+checkpoint: all dirty SSD pages are flushed to disk during a checkpoint,
+and no new dirty pages are cached while one is in progress (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.ssd_buffer_table import SsdRecord
+from repro.core.ssd_manager import SsdManagerBase
+from repro.engine.page import Frame
+
+
+class LazyCleaningManager(SsdManagerBase):
+    """LC: write-back caching of dirty evictions with a cleaner thread."""
+
+    name = "LC"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cleaner_started = False
+        self._cleaner_wakeup = None
+
+    # ------------------------------------------------------------------
+    # Eviction hook
+    # ------------------------------------------------------------------
+
+    def on_evict_dirty(self, frame: Frame):
+        """Cache the dirty page in the SSD; fall back to disk if we can't.
+
+        Falls back when: admission rejects the page, a checkpoint is in
+        progress (§3.2: LC stops caching new dirty pages then), the SSD
+        is throttled, or no frame can be reclaimed (every frame dirty).
+        """
+        checkpointing = self.bp is not None and self.bp.checkpoint_active
+        if not checkpointing and self.admission.qualifies(
+                frame, self.used_frames):
+            cached = yield from self._cache_page(frame.page_id, frame.version,
+                                                 dirty=True,
+                                                 rec_lsn=max(0, frame.rec_lsn))
+            if cached:
+                self._maybe_wake_cleaner()
+                return
+        self.stats.fallback_disk_writes += 1
+        yield from self.disk.write(frame.page_id, frame.version,
+                                   sequential=False)
+
+    # ------------------------------------------------------------------
+    # The lazy-cleaning thread
+    # ------------------------------------------------------------------
+
+    def _after_dirty_cached(self) -> None:
+        self._maybe_wake_cleaner()
+
+    def start_cleaner(self) -> None:
+        """Launch the background cleaner process (idempotent)."""
+        if not self._cleaner_started:
+            self._cleaner_started = True
+            self._cleaner_wakeup = self.env.event()
+            self.env.process(self._cleaner_loop())
+
+    def _maybe_wake_cleaner(self) -> None:
+        if (self._cleaner_wakeup is not None
+                and not self._cleaner_wakeup.triggered
+                and self.table.dirty_count > self.config.dirty_limit_frames):
+            self._cleaner_wakeup.succeed()
+
+    def _cleaner_loop(self):
+        while True:
+            if self.table.dirty_count <= self.config.dirty_limit_frames:
+                self._cleaner_wakeup = self.env.event()
+                yield self._cleaner_wakeup
+            target = self.config.clean_target_frames
+            while self.table.dirty_count > target:
+                # Keep several group-clean batches in flight: a serial
+                # cleaner is capped at one page per disk-write latency and
+                # silently turns λ into "never" under load.
+                batches = []
+                for _ in range(self.config.cleaner_concurrency):
+                    if self.table.dirty_count - len(batches) <= target:
+                        break
+                    batches.append(self.env.process(self._clean_batch()))
+                if not batches:
+                    break
+                results = yield self.env.all_of(batches)
+                if not any(results.values()):
+                    # Nothing cleanable right now; yield and retry.
+                    yield self.env.timeout(0.001)
+
+    def _clean_batch(self):
+        """Process step: clean one group of dirty SSD pages (§3.3.5).
+
+        Starting from the oldest dirty page (dirty-heap root), gathers up
+        to α dirty pages with consecutive disk addresses, reads each from
+        the SSD into memory, writes them to disk as one I/O, and marks
+        them clean.  Returns the number of pages cleaned.
+        """
+        group = self._gather_group()
+        if not group:
+            return 0
+        # Capture addresses/versions now: a page may be invalidated (and
+        # its record even reused for a different page) while the cleaning
+        # I/O is in flight.
+        first = group[0].page_id
+        versions = [record.version for record in group]
+        captured = [(record, record.page_id, record.version)
+                    for record in group]
+        # SSD -> memory: one read per page (they are scattered on the SSD).
+        # These are transfer reads, not page accesses: the LRU-2 history
+        # of the records must not be touched.
+        reads = [
+            self.env.process(self._raw_ssd_read(record.frame_no))
+            for record in group
+        ]
+        yield self.env.all_of(reads)
+        self.stats.cleaner_pages += len(group)
+        self.stats.cleaner_ios += 1
+        yield from self.disk.write_run(first, versions)
+        for record, page_id, version in captured:
+            # Mark clean only if the record still describes the exact
+            # page/version we wrote out — it may have been invalidated
+            # (re-dirtied in the pool) or reused for another page while
+            # the clean-back I/O was in flight.
+            if (record.valid and record.dirty
+                    and record.page_id == page_id
+                    and record.version == version):
+                self.table.set_dirty(record, False)
+                self.clean_heap.push(record)
+        return len(group)
+
+    def _gather_group(self) -> List[SsdRecord]:
+        """Oldest dirty page plus dirty neighbours at consecutive disk
+        addresses, up to α pages, sorted by disk address."""
+        seed = self.dirty_heap.pop()
+        if seed is None:
+            return []
+        group = [seed]
+        limit = self.config.group_clean_pages
+        # Extend left, then right, while neighbours are dirty in the SSD.
+        low = seed.page_id - 1
+        while len(group) < limit:
+            record = self._dirty_record(low)
+            if record is None:
+                break
+            self.dirty_heap.remove(record)
+            group.insert(0, record)
+            low -= 1
+        high = seed.page_id + 1
+        while len(group) < limit:
+            record = self._dirty_record(high)
+            if record is None:
+                break
+            self.dirty_heap.remove(record)
+            group.append(record)
+            high += 1
+        return group
+
+    def _dirty_record(self, page_id: int) -> Optional[SsdRecord]:
+        record = self.table.lookup_valid(page_id)
+        return record if record is not None and record.dirty else None
+
+    def _raw_ssd_read(self, frame_no: int):
+        """Transfer read for cleaning: no LRU-2 or hit accounting."""
+        yield self.device.read(frame_no, 1, random=True)
+
+    # ------------------------------------------------------------------
+    # Checkpoint integration (§3.2)
+    # ------------------------------------------------------------------
+
+    def on_checkpoint(self):
+        """Flush *all* dirty SSD pages to disk (sharp checkpoint rule)."""
+        while self.table.dirty_count > 0:
+            batches = [
+                self.env.process(self._clean_batch())
+                for _ in range(self.config.cleaner_concurrency)
+            ]
+            results = yield self.env.all_of(batches)
+            cleaned = sum(results.values())
+            self.stats.checkpoint_ssd_flushes += cleaned
+            if cleaned == 0:
+                yield self.env.timeout(0.001)

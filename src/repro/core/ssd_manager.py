@@ -1,0 +1,415 @@
+"""The SSD manager: shared machinery for all designs (Figure 1, §2.2).
+
+The buffer pool calls the SSD manager at five points:
+
+* on a page miss, to try serving the read from the SSD (:meth:`try_read`);
+* after reading a page from disk (:meth:`on_read_from_disk` — only TAC
+  acts here);
+* when evicting a clean or dirty page (:meth:`on_evict_clean` /
+  :meth:`on_evict_dirty` — where the CW/DW/LC designs differ);
+* when a buffered page is dirtied (:meth:`invalidate`);
+* when planning a multi-page read (:meth:`trim_plan`, §3.3.3).
+
+The checkpointer adds :meth:`checkpoint_write` and :meth:`on_checkpoint`;
+crash/restart simulation adds :meth:`on_crash` / :meth:`on_restart`.
+
+Methods documented as *process steps* are generators to be driven with
+``yield from``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.sim import Environment
+from repro.core.admission import AdmissionPolicy
+from repro.core.config import SsdDesignConfig
+from repro.core.heaps import LazyMinHeap
+from repro.core.ssd_buffer_table import SsdBufferTable, SsdRecord
+from repro.engine.disk_manager import DiskManager
+from repro.engine.page import Frame
+from repro.engine.wal import WriteAheadLog
+from repro.storage.ssd import Ssd
+
+
+@dataclass
+class TrimPlan:
+    """Result of the §3.3.3 multi-page trimming decision.
+
+    ``disk_start``/``disk_count`` describe the single contiguous disk read
+    (count 0 means everything came from the SSD); ``ssd_pages`` are read
+    from the SSD with individual I/Os; ``skip_in_run`` are pages inside the
+    disk run whose disk copy must be discarded because a newer SSD copy is
+    being read instead.
+    """
+
+    disk_start: int = 0
+    disk_count: int = 0
+    ssd_pages: Sequence[int] = ()
+    skip_in_run: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class SsdStats:
+    """Cumulative SSD-manager counters."""
+
+    reads: int = 0              # pages served from the SSD
+    writes: int = 0             # pages written to the SSD
+    declined_throttle: int = 0  # optional SSD I/Os skipped (μ)
+    invalidations: int = 0      # SSD copies invalidated on page dirty
+    evictions: int = 0          # SSD frames reclaimed by replacement
+    fallback_disk_writes: int = 0  # dirty evictions LC sent to disk
+    cleaner_pages: int = 0      # pages the LC cleaner wrote back
+    cleaner_ios: int = 0        # disk I/Os the cleaner issued
+    checkpoint_ssd_flushes: int = 0  # dirty SSD pages flushed at checkpoints
+    missed_dirty_writes: int = 0  # TAC: page dirtied before its SSD write
+
+
+class SsdManagerBase:
+    """Common implementation: table, heaps, admission, throttle, trimming."""
+
+    #: Name used in figures and reports; subclasses override.
+    name = "base"
+
+    def __init__(self, env: Environment, device: Ssd, disk: DiskManager,
+                 wal: WriteAheadLog, config: Optional[SsdDesignConfig] = None,
+                 admission: Optional[AdmissionPolicy] = None):
+        self.env = env
+        self.device = device
+        self.disk = disk
+        self.wal = wal
+        self.config = config or SsdDesignConfig()
+        self.admission = admission or AdmissionPolicy(self.config)
+        self.table = SsdBufferTable(self.config.ssd_frames,
+                                    self.config.partitions)
+        self.stats = SsdStats()
+        #: Set by the system wiring; lets designs see checkpoint state.
+        self.bp = None
+        self.clean_heap = LazyMinHeap(
+            key=lambda r: r.lru2_key(),
+            member=lambda r: r.valid and not r.dirty)
+        self.dirty_heap = LazyMinHeap(
+            key=lambda r: r.lru2_key(),
+            member=lambda r: r.valid and r.dirty)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def used_frames(self) -> int:
+        """Occupied SSD frames."""
+        return self.table.used_count
+
+    @property
+    def dirty_frames(self) -> int:
+        """Dirty (newer-than-disk) SSD frames."""
+        return self.table.dirty_count
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Dirty frames as a fraction of SSD capacity (LC's λ gauge)."""
+        if self.config.ssd_frames == 0:
+            return 0.0
+        return self.table.dirty_count / self.config.ssd_frames
+
+    def contains_valid(self, page_id: int) -> bool:
+        """Whether the SSD holds a valid copy of ``page_id``."""
+        return self.table.lookup_valid(page_id) is not None
+
+    def contains_newer(self, page_id: int) -> bool:
+        """SSD copy strictly newer than the disk copy (LC only)."""
+        record = self.table.lookup_valid(page_id)
+        return (record is not None
+                and record.version > self.disk.disk_version(page_id))
+
+    def oldest_dirty_rec_lsn(self) -> Optional[int]:
+        """Smallest recovery LSN among dirty SSD pages (None if clean).
+
+        Fuzzy checkpoints may not truncate the log past this point: the
+        dirty SSD pages' updates exist only in the SSD and the log.
+        """
+        lsns = [r.rec_lsn for r in self.table.occupied_records()
+                if r.valid and r.dirty]
+        return min(lsns) if lsns else None
+
+    def _throttled(self) -> bool:
+        """True while optional SSD I/Os should be skipped (§3.3.2)."""
+        return self.device.pending > self.config.throttle_limit
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def try_read(self, page_id: int):
+        """Process step: serve a buffer-pool miss from the SSD if possible.
+
+        Returns the page version read, or None to fall back to disk
+        (page absent, or SSD throttled and the disk copy is just as new).
+        """
+        record = self.table.lookup_valid(page_id)
+        if record is None:
+            return None
+        newer = record.version > self.disk.disk_version(page_id)
+        if self._throttled() and not newer:
+            self.stats.declined_throttle += 1
+            return None
+        return (yield from self._read_record(record))
+
+    def read_for_correctness(self, page_id: int):
+        """Process step: read a page that *must* come from the SSD."""
+        record = self.table.lookup_valid(page_id)
+        if record is None:
+            raise LookupError(f"page {page_id} not valid in SSD")
+        return (yield from self._read_record(record))
+
+    def _read_record(self, record: SsdRecord):
+        version = record.version
+        self.stats.reads += 1
+        record.record_access(self.env.now)
+        self._reheap(record)
+        yield self.device.read(record.frame_no, 1, random=True)
+        return version
+
+    def _reheap(self, record: SsdRecord) -> None:
+        if not record.valid:
+            return
+        (self.dirty_heap if record.dirty else self.clean_heap).push(record)
+
+    # ------------------------------------------------------------------
+    # Caching (shared by the eviction hooks)
+    # ------------------------------------------------------------------
+
+    def _cache_page(self, page_id: int, version: int, dirty: bool,
+                    rec_lsn: int = 0):
+        """Process step: write one page image into the SSD buffer pool.
+
+        Returns True if cached.  Handles the already-cached case, the
+        throttle, frame allocation, and replacement.  ``rec_lsn`` is the
+        recovery LSN carried by a dirty page (fuzzy checkpoints truncate
+        the log against the oldest one; the conservative default of 0
+        blocks truncation entirely until the page is cleaned).
+        """
+        existing = self.table.lookup_valid(page_id)
+        if existing is not None:
+            if existing.version == version and existing.dirty == dirty:
+                existing.record_access(self.env.now)
+                self._reheap(existing)
+                return True
+            self._drop_record(existing)
+        if self._throttled():
+            self.stats.declined_throttle += 1
+            return False
+        record = self.table.take_free()
+        if record is None:
+            record = self._evict_for_space()
+            if record is None:
+                return False
+        self.table.install(record, page_id, version, dirty, self.env.now,
+                           rec_lsn=rec_lsn)
+        self._reheap(record)
+        self.stats.writes += 1
+        yield self.device.write(record.frame_no, 1, random=True)
+        return True
+
+    def _evict_for_space(self) -> Optional[SsdRecord]:
+        """Reclaim one frame via the replacement policy (clean heap)."""
+        victim = self.clean_heap.pop()
+        if victim is None:
+            return None
+        self.stats.evictions += 1
+        self.table.release(victim)
+        taken = self.table.take_free()
+        assert taken is not None
+        return taken
+
+    def _drop_record(self, record: SsdRecord) -> None:
+        """Physically free a record (our designs' invalidation)."""
+        self.clean_heap.remove(record)
+        self.dirty_heap.remove(record)
+        self.table.release(record)
+
+    # ------------------------------------------------------------------
+    # Buffer-pool hooks (overridden per design)
+    # ------------------------------------------------------------------
+
+    def on_read_from_disk(self, frame: Frame) -> None:
+        """Called after a page is read from disk into the pool (TAC hook)."""
+
+    def on_evict_clean(self, frame: Frame):
+        """Process step: a clean page leaves the pool.
+
+        All three of the paper's designs cache qualifying clean pages at
+        this point; if the SSD already holds the identical copy nothing
+        is written.
+        """
+        existing = self.table.lookup_valid(frame.page_id)
+        if existing is not None:
+            # Figure 3 invariant: a page valid in memory and the SSD has
+            # equal versions (dirtying would have invalidated the copy).
+            assert existing.version == frame.version, (
+                f"SSD copy v{existing.version} != memory v{frame.version} "
+                f"for clean page {frame.page_id}")
+            existing.record_access(self.env.now)
+            self._reheap(existing)
+            return
+        if self.admission.qualifies(frame, self.used_frames):
+            # A clean frame can still be *newer than disk*: under LC a
+            # page whose only up-to-date copy lived in the SSD is read
+            # back clean.  Re-caching it as clean would strand the newest
+            # version where neither the cleaner nor a checkpoint flushes
+            # it, losing it once the log truncates — so it re-enters the
+            # SSD dirty.
+            dirty = frame.version > self.disk.disk_version(frame.page_id)
+            cached = yield from self._cache_page(frame.page_id,
+                                                 frame.version, dirty=dirty)
+            if dirty and not cached:
+                # Couldn't re-cache (throttle/full): the newest copy must
+                # not be dropped — write it to disk instead.
+                yield from self.disk.write(frame.page_id, frame.version,
+                                           sequential=False)
+            if dirty and cached:
+                self._after_dirty_cached()
+        elif frame.version > self.disk.disk_version(frame.page_id):
+            yield from self.disk.write(frame.page_id, frame.version,
+                                       sequential=False)
+
+    def on_evict_dirty(self, frame: Frame):
+        """Process step: a dirty page leaves the pool (design-specific)."""
+        raise NotImplementedError
+
+    def _after_dirty_cached(self) -> None:
+        """Hook: a dirty page entered the SSD (LC wakes its cleaner)."""
+
+    def invalidate(self, page_id: int) -> None:
+        """A buffered page was dirtied: drop the SSD copy (physical)."""
+        record = self.table.lookup(page_id)
+        if record is not None and record.occupied:
+            self.stats.invalidations += 1
+            self._drop_record(record)
+
+    # ------------------------------------------------------------------
+    # Multi-page trimming (§3.3.3)
+    # ------------------------------------------------------------------
+
+    def trim_plan(self, wanted: Sequence[int]) -> TrimPlan:
+        """Plan a multi-page read: trim SSD-resident edges, keep one run."""
+        if not wanted:
+            return TrimPlan()
+        ssd_pages: List[int] = []
+        lo, hi = 0, len(wanted) - 1
+        while lo <= hi and self.contains_valid(wanted[lo]):
+            ssd_pages.append(wanted[lo])
+            lo += 1
+        while hi >= lo and self.contains_valid(wanted[hi]):
+            ssd_pages.append(wanted[hi])
+            hi -= 1
+        if lo > hi:
+            return TrimPlan(ssd_pages=ssd_pages)
+        # Middle pages whose SSD copy is newer than disk must come from
+        # the SSD; their stale disk copies are read (one contiguous I/O is
+        # cheaper) but discarded.
+        skip = frozenset(
+            pid for pid in wanted[lo:hi + 1] if self.contains_newer(pid))
+        ssd_pages.extend(skip)
+        return TrimPlan(disk_start=wanted[lo],
+                        disk_count=wanted[hi] - wanted[lo] + 1,
+                        ssd_pages=ssd_pages, skip_in_run=skip)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restart hooks
+    # ------------------------------------------------------------------
+
+    def checkpoint_write(self, frame: Frame):
+        """Process step: flush one dirty buffer-pool page at a checkpoint.
+
+        Default (noSSD/CW/LC/TAC): write to disk only.  DW overrides to
+        also prime the SSD (§3.2).
+        """
+        yield from self.disk.write(frame.page_id, frame.version,
+                                   sequential=False)
+
+    def on_checkpoint(self):
+        """Process step: design-specific checkpoint work (LC overrides)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def on_crash(self) -> None:
+        """Volatile state is lost.  The SSD's *content* survives, but the
+        paper's designs keep the mapping only in RAM, so a cold restart
+        discards it; the warm-restart extension retains clean frames."""
+        if not self.config.warm_restart:
+            self.table.clear()
+            self.clean_heap.clear()
+            self.dirty_heap.clear()
+            return
+        for record in list(self.table.occupied_records()):
+            if not record.valid or record.dirty:
+                self._drop_record(record)
+
+    def on_restart(self, last_checkpoint_lsn: int) -> None:
+        """After redo: drop kept SSD frames that redo made stale."""
+        if not self.config.warm_restart:
+            return
+        for record in list(self.table.occupied_records()):
+            if record.version != self.disk.disk_version(record.page_id):
+                self._drop_record(record)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (Figure 3), used by the property tests
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the Figure 3 page-copy relationships hold right now."""
+        for record in self.table.occupied_records():
+            if not record.valid:
+                continue
+            disk_version = self.disk.disk_version(record.page_id)
+            if record.dirty:
+                assert record.version >= disk_version, (
+                    f"dirty SSD copy older than disk: {record!r} "
+                    f"vs disk v{disk_version}")
+            else:
+                assert record.version == disk_version, (
+                    f"clean SSD copy differs from disk: {record!r} "
+                    f"vs disk v{disk_version}")
+            if self.bp is not None:
+                frame = self.bp.get_resident(record.page_id)
+                if frame is not None:
+                    assert frame.version == record.version, (
+                        f"memory v{frame.version} != SSD v{record.version} "
+                        f"for page {record.page_id}")
+
+
+class NoSsdManager(SsdManagerBase):
+    """The unmodified engine: no SSD, dirty evictions go to disk."""
+
+    name = "noSSD"
+
+    def __init__(self, env: Environment, device: Ssd, disk: DiskManager,
+                 wal: WriteAheadLog, config: Optional[SsdDesignConfig] = None,
+                 admission: Optional[AdmissionPolicy] = None):
+        config = config or SsdDesignConfig(ssd_frames=0)
+        super().__init__(env, device, disk, wal, config, admission)
+
+    def try_read(self, page_id: int):
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def on_evict_clean(self, frame: Frame):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def on_evict_dirty(self, frame: Frame):
+        yield from self.disk.write(frame.page_id, frame.version,
+                                   sequential=False)
+
+    def invalidate(self, page_id: int) -> None:
+        pass
+
+    def trim_plan(self, wanted: Sequence[int]) -> TrimPlan:
+        if not wanted:
+            return TrimPlan()
+        return TrimPlan(disk_start=wanted[0],
+                        disk_count=wanted[-1] - wanted[0] + 1)

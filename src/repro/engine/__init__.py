@@ -1,0 +1,49 @@
+"""A page-based mini-DBMS storage engine.
+
+This package is the substrate the paper's SSD designs plug into: it plays
+the role SQL Server 2008 R2's storage module plays in the paper (Figure 1).
+It provides
+
+* a main-memory **buffer pool** with LRU-2 replacement, pinning, dirty
+  tracking, and an eviction pipeline that hands pages to an SSD manager,
+* an asynchronous **disk manager** over the simulated striped HDD array,
+  including multi-page I/O,
+* a **read-ahead** mechanism whose "this page was prefetched" flag is the
+  sequential/random classification the SSD admission policy consumes,
+* a **write-ahead log** with group commit and the WAL force rule,
+* **sharp checkpoints** and restart **recovery**,
+* **heap files** (sequential scans) and a **B+-tree** (random lookups).
+
+Page *contents* are modelled as a monotonically increasing version number
+per page rather than 8 KB of bytes: every correctness property the paper's
+designs must maintain (which copy of a page is newest, what survives a
+crash) is expressible over versions, and it keeps the simulation fast.
+"""
+
+from repro.engine.page import Frame, INVALID_LSN, PageId
+from repro.engine.wal import WriteAheadLog
+from repro.engine.disk_manager import DiskManager
+from repro.engine.readahead import ReadAhead, WindowClassifier
+from repro.engine.buffer_pool import BufferPool
+from repro.engine.checkpoint import Checkpointer
+from repro.engine.recovery import RecoveryManager, simulate_crash_and_recover
+from repro.engine.heap_file import HeapFile
+from repro.engine.btree import BPlusTree
+from repro.engine.database import Database
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "Checkpointer",
+    "Database",
+    "DiskManager",
+    "Frame",
+    "HeapFile",
+    "INVALID_LSN",
+    "PageId",
+    "ReadAhead",
+    "RecoveryManager",
+    "WindowClassifier",
+    "WriteAheadLog",
+    "simulate_crash_and_recover",
+]

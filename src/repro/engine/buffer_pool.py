@@ -1,0 +1,493 @@
+"""The main-memory buffer pool.
+
+Implements the storage-module flow of the paper's §2.1/§2.2:
+
+* page requests check the pool, then the SSD manager, then the disk;
+* LRU-2 replacement (the policy SQL Server-class systems use, and the one
+  the paper uses for the SSD as well) with pinning;
+* dirty pages are written out *before* their frame is reused, and the WAL
+  rule is enforced first;
+* every eviction is handed to the SSD manager, which decides — per design
+  (CW/DW/LC/TAC/noSSD) — what gets written where;
+* dirtying a page invalidates its SSD copy;
+* multi-page read-ahead with the §3.3.3 trimming optimization.
+
+All methods named as process steps (``fetch``, ``prefetch``, …) are
+generators meant to be driven with ``yield from`` inside a simulation
+process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Environment, Event
+from repro.engine.disk_manager import DiskManager
+from repro.engine.page import Frame, PageId
+from repro.engine.readahead import ReadAhead
+from repro.engine.wal import WriteAheadLog
+
+
+class BufferPoolStats:
+    """Cumulative buffer-pool counters."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.ssd_hits = 0          # misses served from the SSD
+        self.disk_reads = 0        # misses served from the disk
+        self.prefetched_pages = 0  # pages brought in by read-ahead
+        self.evictions_clean = 0
+        self.evictions_dirty = 0
+        self.latch_wait_time = 0.0
+        self.latch_waits = 0
+        #: Latch wait time attributed to the cause of the latch (e.g.
+        #: "eviction" write-outs vs TAC's "admission-write", §2.5).
+        self.latch_wait_by_reason = {}
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def ssd_hit_rate(self) -> float:
+        """Fraction of buffer-pool misses served by the SSD."""
+        return self.ssd_hits / self.misses if self.misses else 0.0
+
+
+class BufferPool:
+    """A fixed-capacity page cache over the disk manager and SSD manager.
+
+    ``ssd_manager`` is any object implementing the design protocol (see
+    :class:`repro.core.ssd_manager.SsdManagerBase`); the ``noSSD``
+    configuration passes a :class:`repro.core.ssd_manager.NoSsdManager`.
+    """
+
+    def __init__(self, env: Environment, capacity: int, disk: DiskManager,
+                 wal: WriteAheadLog, ssd_manager,
+                 readahead: Optional[ReadAhead] = None,
+                 expand_reads: bool = False):
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.disk = disk
+        self.wal = wal
+        self.ssd = ssd_manager
+        self.readahead = readahead or ReadAhead()
+        #: SQL Server 2008 R2 expands every single-page read to an 8-page
+        #: read until the pool is filled (§4.3.2, Figure 8's initial burst).
+        self.expand_reads = expand_reads
+        self.stats = BufferPoolStats()
+        self.frames: Dict[PageId, Frame] = {}
+        self._inflight: Dict[PageId, Event] = {}
+        self._reserved = 0  # frame slots claimed by in-flight misses
+        self._lru_heap: List[Tuple[float, int, PageId]] = []
+        self._stamp = 0
+        self._stamps: Dict[PageId, int] = {}
+        #: Set by the checkpointer while a sharp checkpoint is running.
+        self.checkpoint_active = False
+        # Lazy-writer machinery: evictions run in a background process
+        # (as SQL Server's lazywriter does) that keeps a cushion of free
+        # frames, so a fetching client almost never waits for a dirty
+        # page's write-out.  The cushion is sized to absorb a read-ahead
+        # burst.
+        self._high_water = min(
+            max(2, capacity // 4),
+            max(16, capacity // 32, self.readahead.batch_pages * 2))
+        self._low_water = self._high_water // 2
+        self._lazywriter_wake: Optional[Event] = None
+        self._frame_freed = self.env.event()
+        self._evicting = 0  # eviction write-outs in flight
+        self.env.process(self._lazywriter())
+
+    @property
+    def _warmed(self) -> bool:
+        """True once the pool has (effectively) filled.  The lazy writer
+        keeps a free cushion afterwards, so 'full' means 'within two
+        cushions of capacity', not literally zero free frames."""
+        return self.used >= self.capacity - 2 * self._high_water
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty_count(self) -> int:
+        """Dirty frames currently in the pool."""
+        return sum(1 for f in self.frames.values() if f.dirty)
+
+    @property
+    def used(self) -> int:
+        """Frames occupied plus slots reserved by in-flight misses."""
+        return len(self.frames) + self._reserved
+
+    def get_resident(self, page_id: PageId) -> Optional[Frame]:
+        """The frame for ``page_id`` if currently resident, else None."""
+        return self.frames.get(page_id)
+
+    # ------------------------------------------------------------------
+    # Fetch path
+    # ------------------------------------------------------------------
+
+    def fetch(self, page_id: PageId):
+        """Process step: pin and return the frame for ``page_id``.
+
+        The caller must :meth:`unpin` the frame when done with it.
+        """
+        while True:
+            frame = self.frames.get(page_id)
+            if frame is not None:
+                if frame.io_busy is not None:
+                    # Latch conflict: an I/O owns the frame (e.g. TAC's
+                    # write-to-SSD-after-read, §2.5) — wait and retry.
+                    started = self.env.now
+                    reason = frame.busy_reason or "unknown"
+                    self.stats.latch_waits += 1
+                    yield frame.io_busy
+                    waited = self.env.now - started
+                    self.stats.latch_wait_time += waited
+                    by_reason = self.stats.latch_wait_by_reason
+                    by_reason[reason] = by_reason.get(reason, 0.0) + waited
+                    continue
+                frame.pin_count += 1
+                self._touch(frame)
+                self.stats.hits += 1
+                return frame
+
+            pending = self._inflight.get(page_id)
+            if pending is not None:
+                yield pending
+                continue
+
+            # Miss: this process performs the read.
+            done = self.env.event()
+            self._inflight[page_id] = done
+            self._reserved += 1
+            self.stats.misses += 1
+            try:
+                frame = yield from self._read_in(page_id)
+            finally:
+                # pop/max guards: drop_all() (crash simulation) may have
+                # reset this bookkeeping while the read was in flight.
+                self._reserved = max(0, self._reserved - 1)
+                self._inflight.pop(page_id, None)
+                done.succeed()
+            frame.pin_count = 1
+            self._touch(frame)
+            return frame
+
+    def _read_in(self, page_id: PageId):
+        """Process step: bring a missing page in (SSD first, else disk)."""
+        yield from self._ensure_free_frames()
+        version = yield from self.ssd.try_read(page_id)
+        if version is not None:
+            self.stats.ssd_hits += 1
+            frame = Frame(page_id, version, sequential=False)
+            if (version > self.disk.disk_version(page_id)
+                    and not self.ssd.contains_valid(page_id)):
+                # An *exclusive* SSD design just handed us its only copy
+                # of a version newer than disk: the memory frame is now
+                # the authoritative copy and must be treated as dirty so
+                # checkpoints and evictions keep it durable.  (The redo
+                # records for this version were forced before the page
+                # ever reached the SSD, so no new WAL force is needed.)
+                frame.dirty = True
+            self.frames[page_id] = frame
+            return frame
+
+        self.stats.disk_reads += 1
+        if self.expand_reads and not self._warmed:
+            frame = yield from self._expanded_read(page_id)
+        else:
+            versions = yield from self.disk.read(page_id, 1, sequential=False)
+            frame = Frame(page_id, versions[0], sequential=False)
+            self.frames[page_id] = frame
+        self.ssd.on_read_from_disk(frame)
+        return frame
+
+    def _expanded_read(self, page_id: PageId):
+        """Read an aligned 8-page run to fill the pool faster (cold start)."""
+        span = 8
+        start = (page_id // span) * span
+        npages = min(span, self.disk.npages - start)
+        versions = yield from self.disk.read(start, npages, sequential=False)
+        frame = None
+        for offset, version in enumerate(versions):
+            pid = start + offset
+            if pid == page_id:
+                frame = Frame(pid, version, sequential=False)
+                self.frames[pid] = frame
+            elif (pid not in self.frames and pid not in self._inflight
+                  and self.used < self.capacity):
+                extra = Frame(pid, version, sequential=True)
+                self.frames[pid] = extra
+                self._touch(extra)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Prefetch (read-ahead) path with multi-page trimming (§3.3.3)
+    # ------------------------------------------------------------------
+
+    def prefetch(self, start: PageId, npages: int):
+        """Process step: bring ``[start, start+npages)`` in via read-ahead.
+
+        Pages arrive unpinned and marked *sequential* (the admission
+        signal).  Pages already resident or in flight are skipped.  The
+        disk I/O is trimmed per §3.3.3: leading/trailing pages present in
+        the SSD are dropped from the disk request; middle pages whose SSD
+        copy is *newer* than disk are read from the SSD separately.
+        """
+        wanted = [
+            pid for pid in range(start, start + npages)
+            if pid not in self.frames and pid not in self._inflight
+        ]
+        if not wanted:
+            return
+        done = self.env.event()
+        for pid in wanted:
+            self._inflight[pid] = done
+        self._reserved += len(wanted)
+        try:
+            yield from self._ensure_free_frames()
+            plan = self.ssd.trim_plan(wanted)
+            ios = []
+            if plan.disk_count > 0:
+                ios.append(self.env.process(self._disk_run(
+                    plan.disk_start, plan.disk_count, plan.skip_in_run)))
+            for pid in plan.ssd_pages:
+                ios.append(self.env.process(self._ssd_single(pid)))
+            if ios:
+                yield self.env.all_of(ios)
+        finally:
+            self._reserved = max(0, self._reserved - len(wanted))
+            for pid in wanted:
+                if self._inflight.get(pid) is done:
+                    del self._inflight[pid]
+            done.succeed()
+
+    def _disk_run(self, start: PageId, npages: int, skip=frozenset()):
+        versions = yield from self.disk.read(start, npages, sequential=True)
+        for offset, version in enumerate(versions):
+            pid = start + offset
+            if pid in self.frames or pid in skip:
+                # Resident already, or a newer SSD copy is being read in
+                # parallel: the stale disk copy is discarded (§3.3.3).
+                continue
+            if self.ssd.contains_newer(pid):
+                # The page was dirtied and evicted into the SSD *while*
+                # this disk I/O was in flight: the disk copy is stale.
+                # Drop it; a later fetch will be served from the SSD.
+                continue
+            frame = Frame(pid, version, sequential=True)
+            self.frames[pid] = frame
+            self._touch(frame)
+            self.stats.prefetched_pages += 1
+            self.ssd.on_read_from_disk(frame)
+
+    def _ssd_single(self, page_id: PageId):
+        version = yield from self.ssd.read_for_correctness(page_id)
+        if page_id in self.frames:
+            return
+        frame = Frame(page_id, version, sequential=True)
+        self.frames[page_id] = frame
+        self._touch(frame)
+        self.stats.prefetched_pages += 1
+        self.stats.ssd_hits += 1
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self, frame: Frame, txn_id: Optional[int] = None) -> int:
+        """Record an update to a pinned frame; returns the redo LSN.
+
+        Bumps the page version, appends the redo record, and invalidates
+        any SSD copy (§2.2: "the copy of the page in the SSD is
+        invalidated by the SSD manager").
+        """
+        if not frame.pinned:
+            raise ValueError(f"updating unpinned frame {frame!r}")
+        frame.version += 1
+        frame.page_lsn = self.wal.append(frame.page_id, frame.version,
+                                         txn_id=txn_id)
+        if not frame.dirty:
+            frame.rec_lsn = frame.page_lsn
+        frame.dirty = True
+        self.ssd.invalidate(frame.page_id)
+        return frame.page_lsn
+
+    def unpin(self, frame: Frame) -> None:
+        """Release one pin."""
+        if frame.pin_count <= 0:
+            raise ValueError(f"unpinning unpinned frame {frame!r}")
+        frame.pin_count -= 1
+
+    def new_page(self, page_id: PageId):
+        """Create a page in the pool without reading it (B+-tree splits).
+
+        The frame starts dirty — this is the "dirty page generated
+        on-the-fly" case of §4.2 that TAC never caches.
+        """
+        if page_id in self.frames or page_id in self._inflight:
+            raise ValueError(f"page {page_id} already resident")
+        self._reserved += 1
+        try:
+            yield from self._ensure_free_frames()
+        finally:
+            self._reserved -= 1
+        frame = Frame(page_id, version=0, sequential=False)
+        frame.pin_count = 1
+        frame.dirty = True
+        frame.page_lsn = self.wal.append(page_id, 0)
+        self.frames[page_id] = frame
+        self._touch(frame)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Replacement (LRU-2, lazy-deletion heap)
+    # ------------------------------------------------------------------
+
+    def _touch(self, frame: Frame) -> None:
+        frame.record_access(self.env.now)
+        self._push(frame)
+
+    def _push(self, frame: Frame) -> None:
+        self._stamp += 1
+        self._stamps[frame.page_id] = self._stamp
+        heapq.heappush(self._lru_heap,
+                       (frame.lru2_key(), self._stamp, frame.page_id))
+
+    def _pick_victim(self) -> Optional[Frame]:
+        """Pop the LRU-2 victim: oldest penultimate access, unpinned."""
+        deferred = []
+        victim = None
+        while self._lru_heap:
+            key, stamp, page_id = heapq.heappop(self._lru_heap)
+            frame = self.frames.get(page_id)
+            if frame is None or self._stamps.get(page_id) != stamp:
+                continue  # stale entry
+            if frame.pinned or frame.io_busy is not None:
+                deferred.append((key, stamp, page_id))
+                continue
+            victim = frame
+            break
+        for entry in deferred:
+            heapq.heappush(self._lru_heap, entry)
+        return victim
+
+    # ------------------------------------------------------------------
+    # Lazy writer (background eviction)
+    # ------------------------------------------------------------------
+
+    @property
+    def free_frames(self) -> int:
+        """Unoccupied, unreserved frame slots."""
+        return self.capacity - self.used
+
+    def _kick_lazywriter(self) -> None:
+        if (self._lazywriter_wake is not None
+                and not self._lazywriter_wake.triggered):
+            self._lazywriter_wake.succeed()
+
+    def _lazywriter(self):
+        """Keep ``free_frames`` near the high-water mark.
+
+        Evictions are spawned as independent processes (no barrier): one
+        slow dirty write-out must not hold back the rest of the cushion.
+        ``_evicting`` counts write-outs in flight so the target is not
+        overshot.
+        """
+        while True:
+            deficit = self._high_water - self.free_frames - self._evicting
+            stuck = False
+            while deficit > 0:
+                victim = self._pick_victim()
+                if victim is None:
+                    stuck = self.free_frames + self._evicting <= 0
+                    break
+                victim.io_busy = self.env.event()  # reserve before spawning
+                victim.busy_reason = "eviction"
+                self._evicting += 1
+                self.env.process(self._evict(victim))
+                deficit -= 1
+            if stuck:
+                # Everything pinned/busy — wait for the world to change.
+                yield self.env.timeout(0.0005)
+                continue
+            self._lazywriter_wake = self.env.event()
+            yield self._lazywriter_wake
+
+    def _signal_freed(self) -> None:
+        event, self._frame_freed = self._frame_freed, self.env.event()
+        event.succeed()
+
+    def _ensure_free_frames(self, needed: int = 0):
+        """Process step: wait until the caller's (already reserved) claim
+        fits within capacity.
+
+        Callers reserve their slots *before* calling this, so the claim
+        is part of :attr:`used` already — counting it again would let a
+        handful of concurrent prefetches reserve the whole pool and then
+        deadlock waiting for the space their own reservations hold.
+        ``needed`` covers only *additional* un-reserved slots.
+
+        The lazy writer normally keeps a cushion, so this returns without
+        yielding; under pressure it blocks until evictions complete.
+        """
+        if self.free_frames - needed < self._low_water:
+            self._kick_lazywriter()
+        while self.used + needed > self.capacity:
+            if not self.frames and self._evicting == 0:
+                # Nothing exists to evict: reservations alone overcommit
+                # the pool (a cold-start burst).  Proceed — the overshoot
+                # is bounded by the number of concurrent reads and the
+                # lazy writer reclaims it as frames materialize.
+                return
+            self._kick_lazywriter()
+            yield self._frame_freed
+
+    def _evict(self, victim: Frame):
+        """Process step: write out (per design) and drop one frame."""
+        busy = victim.io_busy or self.env.event()
+        victim.io_busy = busy
+        victim.busy_reason = "eviction"
+        try:
+            if victim.dirty:
+                self.stats.evictions_dirty += 1
+                # WAL rule: log records for the page must be durable before
+                # the page goes to the SSD or disk (§2.4).
+                yield from self.wal.force(victim.page_lsn)
+                yield from self.ssd.on_evict_dirty(victim)
+            else:
+                self.stats.evictions_clean += 1
+                yield from self.ssd.on_evict_clean(victim)
+        finally:
+            if self.frames.get(victim.page_id) is victim:
+                del self.frames[victim.page_id]
+            self._stamps.pop(victim.page_id, None)
+            victim.io_busy = None
+            victim.busy_reason = None
+            busy.succeed()
+            self._evicting = max(0, self._evicting - 1)
+            self._signal_freed()
+            self._kick_lazywriter()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def dirty_frames(self) -> List[Frame]:
+        """Snapshot of currently dirty frames (for sharp checkpoints)."""
+        return [f for f in self.frames.values() if f.dirty]
+
+    def drop_all(self) -> None:
+        """Discard every frame without writing (crash simulation)."""
+        self.frames.clear()
+        self._stamps.clear()
+        self._lru_heap.clear()
+        self._inflight.clear()
+        self._reserved = 0

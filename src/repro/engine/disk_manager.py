@@ -1,0 +1,86 @@
+"""The disk manager: asynchronous page I/O against the database volume.
+
+Wraps the striped HDD array with a page-addressed interface and keeps the
+authoritative *disk image* — the version of every page as currently stored
+on disk — which is what checkpointing and recovery reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim import Environment
+from repro.storage.hdd import HddArray
+from repro.storage.request import IoKind, IORequest
+
+
+class DiskManager:
+    """Page-level read/write interface over the database's disk volume."""
+
+    def __init__(self, env: Environment, device: HddArray, npages: int):
+        self.env = env
+        self.device = device
+        self.npages = npages
+        #: Persistent content: page id -> version currently on disk.
+        #: Allocated pages start at version 0 (the loaded database).
+        self._image: Dict[int, int] = {}
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    # ------------------------------------------------------------------
+    # Persistent image (versions)
+    # ------------------------------------------------------------------
+
+    def disk_version(self, page_id: int) -> int:
+        """Version of ``page_id`` as stored on disk right now."""
+        return self._image.get(page_id, 0)
+
+    def _persist(self, page_id: int, version: int) -> None:
+        # Monotone: concurrent writers (evictions, the LC cleaner,
+        # checkpoints) may complete out of order; a real implementation
+        # orders them with frame latches, which this guard stands in for.
+        if version > self._image.get(page_id, -1):
+            self._image[page_id] = version
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, page_id: int, npages: int = 1, sequential: bool = False):
+        """Process step: read ``npages`` contiguous pages.
+
+        Returns the list of on-disk versions, captured at I/O completion.
+        """
+        self._check_range(page_id, npages)
+        kind = IoKind.SEQUENTIAL_READ if sequential else IoKind.RANDOM_READ
+        self.reads_issued += 1
+        yield self.device.submit(IORequest(kind, page_id, npages))
+        return [self.disk_version(page_id + i) for i in range(npages)]
+
+    def write(self, page_id: int, version: int, sequential: bool = False):
+        """Process step: write one page; the image updates at completion."""
+        self._check_range(page_id, 1)
+        kind = IoKind.SEQUENTIAL_WRITE if sequential else IoKind.RANDOM_WRITE
+        self.writes_issued += 1
+        yield self.device.submit(IORequest(kind, page_id, 1))
+        self._persist(page_id, version)
+
+    def write_run(self, page_id: int, versions: List[int]):
+        """Process step: write a contiguous run of pages as a single I/O.
+
+        Used by LC's group cleaning (§3.3.5): up to α dirty SSD pages with
+        consecutive disk addresses go to disk in one sequential write.
+        """
+        self._check_range(page_id, len(versions))
+        self.writes_issued += 1
+        kind = (IoKind.SEQUENTIAL_WRITE if len(versions) > 1
+                else IoKind.RANDOM_WRITE)
+        yield self.device.submit(IORequest(kind, page_id, len(versions)))
+        for offset, version in enumerate(versions):
+            self._persist(page_id + offset, version)
+
+    def _check_range(self, page_id: int, npages: int) -> None:
+        if page_id < 0 or page_id + npages > self.npages:
+            raise ValueError(
+                f"page range [{page_id}, {page_id + npages}) outside "
+                f"database of {self.npages} pages")

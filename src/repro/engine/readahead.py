@@ -1,0 +1,102 @@
+"""Read-ahead and random/sequential classification.
+
+The paper's SSD admission policy rests on telling randomly read pages from
+sequentially read ones, and does it by piggybacking on the DBMS read-ahead
+mechanism (§2.2): a page is "sequential" iff it entered the pool via a
+read-ahead request.  :class:`ReadAhead` implements that mechanism for heap
+scans — after a trigger number of adjacent fetches it prefetches fixed-size
+multi-page batches.
+
+The alternative classifier the paper measures against (Narayanan et al.:
+"a page is sequential if it is within 64 pages of the preceding read") is
+:class:`WindowClassifier`; the paper found it much less accurate (51% vs
+82% on a sequential-read query), and the ablation benchmark reproduces
+that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReadAhead:
+    """Read-ahead policy parameters for sequential scans.
+
+    ``batch_pages`` is the prefetch unit (SQL Server uses up to 512 KB = 64
+    pages; scaled configurations use smaller batches to match their smaller
+    tables).  ``trigger_pages`` is how many adjacent single-page reads a
+    scan performs before read-ahead engages — those leading pages are
+    fetched randomly and therefore *misclassified*, which is why even the
+    read-ahead signal is imperfect (82% in the paper, not 100%).
+    """
+
+    def __init__(self, batch_pages: int = 8, trigger_pages: int = 2,
+                 depth: int = 4):
+        if batch_pages < 1 or trigger_pages < 0:
+            raise ValueError("batch_pages >= 1 and trigger_pages >= 0 required")
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.batch_pages = batch_pages
+        self.trigger_pages = trigger_pages
+        #: Prefetch batches kept outstanding ahead of the scan position —
+        #: real read-ahead pipelines I/O so a striped array streams at
+        #: full aggregate bandwidth instead of one drive at a time.
+        self.depth = depth
+
+
+class WindowClassifier:
+    """The 64-page-window heuristic of Narayanan et al. (EuroSys 2009).
+
+    Classifies each *disk read* as sequential if its address lies within
+    ``window`` pages of the preceding read's address.  Interleaved random
+    lookups from concurrent transactions break up real scans (and adjacent
+    random reads get misread as sequential), which is why the paper found
+    it far less accurate than the read-ahead signal.
+    """
+
+    def __init__(self, window: int = 64):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._last_address: Optional[int] = None
+        # Confusion counts against ground truth, for the ablation bench.
+        self.correct = 0
+        self.total = 0
+
+    def classify(self, address: int, truth_sequential: Optional[bool] = None) -> bool:
+        """Classify a read at ``address``; optionally score vs ground truth."""
+        last, self._last_address = self._last_address, address
+        sequential = last is not None and abs(address - last) <= self.window
+        if truth_sequential is not None:
+            self.total += 1
+            if sequential == truth_sequential:
+                self.correct += 1
+        return sequential
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of classified reads matching ground truth."""
+        return self.correct / self.total if self.total else 0.0
+
+
+class ReadAheadAccuracy:
+    """Scores the read-ahead classification itself against ground truth.
+
+    A scan's trigger pages are fetched as random reads even though they are
+    truly sequential; random lookups are always classified correctly.  The
+    paper reports 82% accuracy for this signal.
+    """
+
+    def __init__(self):
+        self.correct = 0
+        self.total = 0
+
+    def score(self, classified_sequential: bool, truth_sequential: bool) -> None:
+        """Score one classification against ground truth."""
+        self.total += 1
+        if classified_sequential == truth_sequential:
+            self.correct += 1
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0

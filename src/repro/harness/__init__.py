@@ -1,0 +1,28 @@
+"""Experiment harness: system assembly, workload driving, and the
+per-table/figure experiment registry that regenerates the paper's
+evaluation section."""
+
+from repro.harness.system import System, SystemConfig
+from repro.harness.runner import RunResult, WorkloadRunner
+from repro.harness.metrics import Sampler
+from repro.harness.experiments import (
+    SCALE_PROFILES,
+    ScaleProfile,
+    run_oltp_experiment,
+    run_tpch_experiment,
+)
+from repro.harness.report import format_series, format_table
+
+__all__ = [
+    "RunResult",
+    "SCALE_PROFILES",
+    "Sampler",
+    "ScaleProfile",
+    "System",
+    "SystemConfig",
+    "WorkloadRunner",
+    "format_series",
+    "format_table",
+    "run_oltp_experiment",
+    "run_tpch_experiment",
+]

@@ -1,0 +1,131 @@
+"""Run-time metric sampling (time series for Figures 6–9) and
+transaction-latency tracking."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Sample:
+    """One periodic snapshot of system state."""
+
+    time: float
+    ssd_used: int
+    ssd_dirty: int
+    ssd_dirty_fraction: float
+    bp_dirty: int
+    disk_pending: int
+    ssd_pending: int
+
+
+class Sampler:
+    """Samples SSD/buffer-pool occupancy every ``interval`` virtual seconds.
+
+    Feeds the analyses behind Figure 6 (when does LC cross λ?), Figure 7
+    (dirty-fraction trajectories per λ), and the ramp-up measurements
+    (when does the SSD fill?).
+    """
+
+    def __init__(self, system, interval: float = 1.0):
+        self.system = system
+        self.interval = interval
+        self.samples: List[Sample] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Start the periodic sampling process (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.system.env.process(self._loop())
+
+    def _loop(self):
+        while True:
+            self.samples.append(Sample(
+                time=self.system.env.now,
+                ssd_used=self.system.ssd_manager.used_frames,
+                ssd_dirty=self.system.ssd_manager.dirty_frames,
+                ssd_dirty_fraction=self.system.ssd_manager.dirty_fraction,
+                bp_dirty=self.system.bp.dirty_count,
+                disk_pending=self.system.data_device.pending,
+                ssd_pending=self.system.ssd_device.pending,
+            ))
+            yield self.system.env.timeout(self.interval)
+
+    def fill_time(self, threshold_frames: int) -> float:
+        """First sample time at which the SSD held >= ``threshold_frames``
+        pages (inf if never) — the ramp-up measurement."""
+        for sample in self.samples:
+            if sample.ssd_used >= threshold_frames:
+                return sample.time
+        return float("inf")
+
+    def dirty_cross_time(self, threshold_frames: int) -> float:
+        """First sample time at which the SSD's dirty page count exceeded
+        ``threshold_frames`` (inf if never) — LC's λ-crossing."""
+        for sample in self.samples:
+            if sample.ssd_dirty > threshold_frames:
+                return sample.time
+        return float("inf")
+
+
+class LatencyTracker:
+    """Per-transaction-type latency distributions (virtual seconds).
+
+    Latencies are what closed-loop throughput is made of, and where the
+    designs differ mechanically (a miss served by the SSD is ~12× faster
+    than one served by the disks; TAC's post-read SSD writes show up as
+    latch waits inside other transactions' latencies).
+    """
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, txn_type: str, latency: float) -> None:
+        """Record one completed transaction's latency."""
+        self._samples.setdefault(txn_type, []).append(latency)
+
+    def count(self, txn_type: str = None) -> int:
+        """Number of recorded transactions (optionally one type)."""
+        if txn_type is not None:
+            return len(self._samples.get(txn_type, ()))
+        return sum(len(v) for v in self._samples.values())
+
+    def _all(self, txn_type: str = None) -> List[float]:
+        if txn_type is not None:
+            return sorted(self._samples.get(txn_type, ()))
+        merged: List[float] = []
+        for values in self._samples.values():
+            merged.extend(values)
+        return sorted(merged)
+
+    def percentile(self, q: float, txn_type: str = None) -> float:
+        """The q-th percentile (q in [0, 100]) latency."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        values = self._all(txn_type)
+        if not values:
+            return float("nan")
+        rank = (len(values) - 1) * q / 100.0
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return values[low]
+        weight = rank - low
+        return values[low] * (1 - weight) + values[high] * weight
+
+    def mean(self, txn_type: str = None) -> float:
+        """Mean latency (NaN when empty)."""
+        values = self._all(txn_type)
+        return sum(values) / len(values) if values else float("nan")
+
+    def summary(self, txn_type: str = None) -> Dict[str, float]:
+        """mean / p50 / p95 / p99 in one dict."""
+        return {
+            "mean": self.mean(txn_type),
+            "p50": self.percentile(50, txn_type),
+            "p95": self.percentile(95, txn_type),
+            "p99": self.percentile(99, txn_type),
+        }

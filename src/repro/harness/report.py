@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment tables and time series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.rjust(width)
+                         for value, width in zip(values, widths))
+
+    parts = [title, "=" * len(title), line(list(headers)),
+             line(["-" * width for width in widths])]
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def format_series(title: str, series: List[Tuple[float, float]],
+                  time_label: str = "t", value_label: str = "value",
+                  width: int = 50) -> str:
+    """Render a time series as an ASCII bar sparkline table."""
+    if not series:
+        return f"{title}\n(empty)"
+    peak = max(value for _, value in series) or 1.0
+    lines = [title, "=" * len(title),
+             f"{time_label:>8}  {value_label:>12}"]
+    for when, value in series:
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{when:8.1f}  {value:12.1f}  {bar}")
+    return "\n".join(lines)
+
+
+def format_speedups(title: str, speedups: Dict[str, Dict[str, float]],
+                    designs: Sequence[str] = ("DW", "LC", "TAC")) -> str:
+    """Render a Figure 5-style speedup table: configs × designs."""
+    headers = ["config"] + [f"{d} speedup" for d in designs]
+    rows = [
+        [config] + [f"{per_design.get(d, 0.0):.2f}x" for d in designs]
+        for config, per_design in speedups.items()
+    ]
+    return format_table(title, headers, rows)

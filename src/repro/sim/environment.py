@@ -1,0 +1,139 @@
+"""The simulation environment: virtual clock plus event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Execution environment for a deterministic discrete-event simulation.
+
+    Time is a float in *virtual seconds* starting at ``initial_time``.
+    Events scheduled at the same instant are processed in scheduling order,
+    which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # (time, seq, event)
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        self._crash: Optional[BaseException] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling / execution
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event for processing at ``now + delay``."""
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        try:
+            when, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+            if self._crash is not None:
+                crash, self._crash = self._crash, None
+                raise crash
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until is None`` — run until no events remain.
+        * ``until`` is a number — run until virtual time reaches it.
+        * ``until`` is an :class:`Event` — run until that event is
+          processed, then return its value (raising if it failed).
+        """
+        if until is None:
+            stop_at, stop_event = float("inf"), None
+        elif isinstance(until, Event):
+            stop_at, stop_event = float("inf"), until
+            if until.processed:
+                if not until.ok:
+                    raise until.value
+                return until.value
+        else:
+            stop_at, stop_event = float(until), None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be before now ({self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "run() finished with the target event still pending")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+    # ------------------------------------------------------------------
+    # Crash handling (uncaught exceptions in un-awaited processes)
+    # ------------------------------------------------------------------
+
+    def _crashed(self, process: Process, exc: BaseException) -> None:
+        self._crash = exc

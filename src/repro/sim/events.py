@@ -1,0 +1,162 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence at a point in virtual time.
+Processes wait on events by ``yield``-ing them; when the event is triggered
+the kernel resumes every waiting process with the event's value (or raises
+the event's exception inside the process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+#: Sentinel for "event has not been given a value yet".
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Life cycle: *pending* → *triggered* (scheduled on the event queue with a
+    value or an exception) → *processed* (callbacks have run).
+    """
+
+    def __init__(self, env: "Environment"):  # noqa: F821 (forward ref)
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value. Raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is raised inside every process that waits on the
+        event.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def triggered(self) -> bool:
+        return True
+
+
+class _Condition(Event):
+    """Base for events composed of several child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
+        super().__init__(env)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {
+            event: event.value
+            for event in self.events
+            if event.triggered and event.ok
+        }
+
+
+class AllOf(_Condition):
+    """Triggers once every child event has triggered successfully."""
+
+    def _satisfied(self) -> bool:
+        return self._done == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event triggers successfully."""
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1

@@ -1,0 +1,111 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  Each ``yield`` hands the kernel an
+:class:`~repro.sim.events.Event` to wait for; the process resumes when the
+event triggers, receiving ``event.value`` as the result of the ``yield``
+expression (or having the event's exception raised at the yield point).
+
+A :class:`Process` is itself an event: it triggers when the generator
+returns, with the generator's return value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """A running simulation process (and the event of its completion)."""
+
+    def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Bootstrap: resume the process at time `now`.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if event is None or event.ok:
+                        value = None if event is None else event.value
+                        target = self._generator.send(value)
+                    else:
+                        target = self._generator.throw(event.value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self._fail_or_crash(exc)
+                    return
+
+                if not isinstance(target, Event):
+                    exc = SimulationError(
+                        f"process yielded a non-event: {target!r}")
+                    self._target = None
+                    try:
+                        self._generator.throw(exc)
+                    except StopIteration as stop:
+                        self.succeed(stop.value)
+                        return
+                    except BaseException as inner:
+                        self._fail_or_crash(inner)
+                        return
+                    continue
+
+                if target.processed:
+                    # Already processed: loop immediately with its value.
+                    event = target
+                    continue
+                self._target = target
+                target.callbacks.append(self._resume)
+                return
+        finally:
+            self.env._active_process = None
+
+    def _fail_or_crash(self, exc: BaseException) -> None:
+        """Propagate an uncaught process exception.
+
+        If someone is waiting on this process, the exception flows to them
+        via ``fail``; otherwise it would vanish silently, so the kernel
+        records it as a crash that ``Environment.run`` re-raises.
+        """
+        if self.callbacks:
+            self.fail(exc)
+        else:
+            self._ok = False
+            self._value = exc
+            self.env._crashed(self, exc)

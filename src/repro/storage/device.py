@@ -1,0 +1,151 @@
+"""Base class for simulated storage devices.
+
+A device is a set of independent *channels* (servers) fed from a FIFO
+queue.  Submitting an :class:`~repro.storage.request.IORequest` returns an
+event that triggers when the transfer finishes; the elapsed virtual time is
+``queueing + service``, with the service time given by each device's
+:meth:`Device.service_time` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Environment, Event, Resource
+from repro.storage.request import IoKind, IORequest, PAGE_SIZE_BYTES
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative per-device counters."""
+
+    completed: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    busy_time: float = 0.0
+    by_kind: Dict[IoKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in IoKind})
+
+    def record(self, request: IORequest, service: float) -> None:
+        """Account one completed request."""
+        self.completed += 1
+        self.by_kind[request.kind] += 1
+        if request.kind.is_read:
+            self.pages_read += request.npages
+        else:
+            self.pages_written += request.npages
+        self.busy_time += service
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes read from the device."""
+        return self.pages_read * PAGE_SIZE_BYTES
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes written to the device."""
+        return self.pages_written * PAGE_SIZE_BYTES
+
+
+class TrafficRecorder:
+    """Time-bucketed read/write traffic, for the paper's Figure 8.
+
+    Buckets are ``bucket_seconds`` wide; each completed request adds its
+    page count to the read or write series of the bucket it completed in.
+    """
+
+    def __init__(self, bucket_seconds: float):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._reads: Dict[int, int] = {}
+        self._writes: Dict[int, int] = {}
+
+    def record(self, when: float, request: IORequest) -> None:
+        """Add a completed request to its time bucket."""
+        bucket = int(when / self.bucket_seconds)
+        series = self._reads if request.kind.is_read else self._writes
+        series[bucket] = series.get(bucket, 0) + request.npages
+
+    def series(self, until: Optional[float] = None) -> List[Tuple[float, float, float]]:
+        """Return ``(bucket_start_time, read_MBps, write_MBps)`` triples."""
+        if not self._reads and not self._writes:
+            return []
+        last = max(list(self._reads) + list(self._writes))
+        if until is not None:
+            last = max(last, int(until / self.bucket_seconds) - 1)
+        scale = PAGE_SIZE_BYTES / (1 << 20) / self.bucket_seconds
+        return [
+            (
+                bucket * self.bucket_seconds,
+                self._reads.get(bucket, 0) * scale,
+                self._writes.get(bucket, 0) * scale,
+            )
+            for bucket in range(last + 1)
+        ]
+
+
+class Device:
+    """A queueing-server model of a storage device.
+
+    Subclasses define the channel count and override
+    :meth:`service_time`.  The in-flight I/O count (queued + in service)
+    is exposed because the SSD throttle-control optimization (paper §3.3.2)
+    monitors the SSD queue length.
+    """
+
+    def __init__(self, env: Environment, name: str, channels: int):
+        self.env = env
+        self.name = name
+        self.channels = Resource(env, capacity=channels)
+        self.stats = DeviceStats()
+        self.traffic: Optional[TrafficRecorder] = None
+        self._outstanding = 0
+
+    @property
+    def pending(self) -> int:
+        """I/Os submitted but not yet completed (the queue length the
+        SSD throttle-control optimization monitors, §3.3.2)."""
+        return self._outstanding
+
+    def attach_traffic_recorder(self, bucket_seconds: float) -> TrafficRecorder:
+        """Start recording time-bucketed traffic; returns the recorder."""
+        self.traffic = TrafficRecorder(bucket_seconds)
+        return self.traffic
+
+    def service_time(self, request: IORequest) -> float:
+        """Virtual seconds one channel needs to serve ``request``."""
+        raise NotImplementedError
+
+    def submit(self, request: IORequest) -> Event:
+        """Submit a request; the returned event triggers on completion."""
+        request.submitted_at = self.env.now
+        self._outstanding += 1
+        done = self.env.event()
+        self.env.process(self._serve(request, done))
+        return done
+
+    def _serve(self, request: IORequest, done: Event):
+        with self.channels.request() as slot:
+            yield slot
+            service = self.service_time(request)
+            yield self.env.timeout(service)
+            request.completed_at = self.env.now
+            self.stats.record(request, service)
+            if self.traffic is not None:
+                self.traffic.record(self.env.now, request)
+        self._outstanding -= 1
+        done.succeed(request)
+
+    def read(self, address: int, npages: int = 1, random: bool = True,
+             tag=None) -> Event:
+        """Convenience wrapper building and submitting a read request."""
+        kind = IoKind.of("read", random)
+        return self.submit(IORequest(kind, address, npages, tag=tag))
+
+    def write(self, address: int, npages: int = 1, random: bool = True,
+              tag=None) -> Event:
+        """Convenience wrapper building and submitting a write request."""
+        kind = IoKind.of("write", random)
+        return self.submit(IORequest(kind, address, npages, tag=tag))

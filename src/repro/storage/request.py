@@ -1,0 +1,87 @@
+"""I/O request descriptors shared by all device models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Database page size used throughout the reproduction (SQL Server's 8 KB).
+PAGE_SIZE_BYTES = 8192
+
+
+class IoKind(enum.Enum):
+    """The four I/O classes the paper's Table 1 distinguishes."""
+
+    RANDOM_READ = ("read", True)
+    SEQUENTIAL_READ = ("read", False)
+    RANDOM_WRITE = ("write", True)
+    SEQUENTIAL_WRITE = ("write", False)
+
+    def __init__(self, direction: str, random: bool):
+        self.direction = direction
+        self.random = random
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this is a read class."""
+        return self.direction == "read"
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this is a write class."""
+        return self.direction == "write"
+
+    @staticmethod
+    def of(direction: str, random: bool) -> "IoKind":
+        """Build the kind from a direction string and a randomness flag."""
+        table = {
+            ("read", True): IoKind.RANDOM_READ,
+            ("read", False): IoKind.SEQUENTIAL_READ,
+            ("write", True): IoKind.RANDOM_WRITE,
+            ("write", False): IoKind.SEQUENTIAL_WRITE,
+        }
+        try:
+            return table[(direction, random)]
+        except KeyError:
+            raise ValueError(f"unknown I/O direction {direction!r}") from None
+
+
+@dataclass
+class IORequest:
+    """A single I/O against a device.
+
+    ``address`` is a device-local page number (a disk page id for the HDD
+    array, an SSD frame number for the SSD); ``npages`` contiguous pages are
+    transferred starting there.  ``kind`` carries the random/sequential
+    classification, which on real hardware determines whether a seek is
+    paid and in this reproduction feeds both the service-time model and the
+    SSD admission policy.
+    """
+
+    kind: IoKind
+    address: int
+    npages: int = 1
+    tag: Any = None
+    #: Filled in by the device at completion time (virtual seconds).
+    submitted_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.npages < 1:
+            raise ValueError(f"npages must be >= 1, got {self.npages}")
+        if self.address < 0:
+            raise ValueError(f"address must be >= 0, got {self.address}")
+
+    @property
+    def nbytes(self) -> int:
+        """Transfer size in bytes."""
+        return self.npages * PAGE_SIZE_BYTES
+
+    @property
+    def latency(self) -> float:
+        """Queueing + service time, available after completion."""
+        if self.submitted_at is None or self.completed_at is None:
+            raise ValueError("request has not completed")
+        return self.completed_at - self.submitted_at

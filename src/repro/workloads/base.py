@@ -1,0 +1,115 @@
+"""Shared transaction machinery for the workload generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+
+class Transaction:
+    """Collects a transaction's page operations and commits via the WAL.
+
+    Workload code drives it with ``yield from``::
+
+        txn = Transaction(system)
+        yield from txn.read(page_id)
+        yield from txn.update(page_id)
+        yield from txn.commit()
+
+    ``commit`` forces the log up to the transaction's last record (group
+    commit batches concurrent forcers) and, if the workload keeps a
+    committed-state oracle, publishes the written versions into it — the
+    ground truth the crash-recovery tests verify against.
+    """
+
+    _next_id = 0
+
+    def __init__(self, system, oracle: Optional[Dict[int, int]] = None):
+        self.system = system
+        self.oracle = oracle
+        Transaction._next_id += 1
+        self.txn_id = Transaction._next_id
+        self.last_lsn = -1
+        self.writes: List[Tuple[int, int]] = []
+
+    def read(self, page_id: int):
+        """Process step: read one page (fetch + unpin)."""
+        bp = self.system.bp
+        frame = yield from bp.fetch(page_id)
+        bp.unpin(frame)
+        return frame
+
+    def update(self, page_id: int):
+        """Process step: read-modify-write one page."""
+        bp = self.system.bp
+        frame = yield from bp.fetch(page_id)
+        self.last_lsn = bp.mark_dirty(frame, txn_id=self.txn_id)
+        self.writes.append((frame.page_id, frame.version))
+        bp.unpin(frame)
+        return frame
+
+    def index_lookup(self, tree, key: int):
+        """Process step: B+-tree point lookup."""
+        return (yield from tree.lookup(self.system.bp, key))
+
+    def index_update(self, tree, key: int):
+        """Process step: B+-tree in-place update (dirties the leaf)."""
+        bp = self.system.bp
+        frame, leaf = yield from tree._fetch_leaf_frame(bp, key)
+        self.last_lsn = bp.mark_dirty(frame, txn_id=self.txn_id)
+        self.writes.append((frame.page_id, frame.version))
+        bp.unpin(frame)
+
+    def index_insert(self, tree, key: int):
+        """Process step: B+-tree insert (may split pages)."""
+        inserted = yield from tree.insert(self.system.bp, key,
+                                          txn_id=self.txn_id)
+        if inserted:
+            self.last_lsn = max(self.last_lsn, self.system.wal.tail_lsn)
+        return inserted
+
+    def commit(self):
+        """Process step: force the log through this transaction's tail."""
+        if self.last_lsn >= 0:
+            yield from self.system.wal.force(self.last_lsn)
+            if self.oracle is not None:
+                for page_id, version in self.writes:
+                    if version > self.oracle.get(page_id, -1):
+                        self.oracle[page_id] = version
+
+
+class AppendRegion:
+    """An append-only heap region (TPC-C's HISTORY, order lines, …).
+
+    Each insert dirties the current tail page; every ``rows_per_page``
+    inserts the tail advances, wrapping when the region fills (standing
+    in for space reuse so long runs don't exhaust the region).
+    """
+
+    def __init__(self, first_page: int, npages: int, rows_per_page: int = 20):
+        self.first_page = first_page
+        self.npages = npages
+        self.rows_per_page = rows_per_page
+        self._rows = 0
+
+    @property
+    def tail_page(self) -> int:
+        """The page the next insert lands on."""
+        return self.first_page + (self._rows // self.rows_per_page) % self.npages
+
+    def append(self, txn: Transaction):
+        """Process step: insert one row at the tail."""
+        page = self.tail_page
+        self._rows += 1
+        yield from txn.update(page)
+
+
+def choose_mix(rng: random.Random, mix: List[Tuple[str, float]]) -> str:
+    """Pick a transaction type from a (name, weight) mix."""
+    point = rng.random()
+    cumulative = 0.0
+    for name, weight in mix:
+        cumulative += weight
+        if point < cumulative:
+            return name
+    return mix[-1][0]

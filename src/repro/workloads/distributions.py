@@ -1,0 +1,79 @@
+"""Skewed access distributions used by the workload generators."""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List
+
+
+class NURand:
+    """TPC-C's non-uniform random distribution NURand(A, x, y).
+
+    ``NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y-x+1)) + x``
+
+    The OR of a small-range and a full-range uniform value concentrates
+    the mass on a hot subset — the source of TPC-C's "75% of accesses go
+    to 20% of the pages" skew the paper cites (Leutenegger & Dias).
+    """
+
+    def __init__(self, a: int, x: int, y: int, c: int = 7):
+        if y < x:
+            raise ValueError(f"empty range [{x}, {y}]")
+        if a < 1:
+            raise ValueError(f"A must be >= 1, got {a}")
+        self.a = a
+        self.x = x
+        self.y = y
+        self.c = c
+
+    @staticmethod
+    def for_range(n: int, c: int = 7) -> "NURand":
+        """NURand over [0, n) with A chosen like TPC-C scales it (~n/8,
+        rounded to a power-of-two mask)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        a = max(1, (1 << max(0, int(math.log2(max(2, n))) - 3)) - 1)
+        return NURand(a, 0, n - 1, c)
+
+    def sample(self, rng: random.Random) -> int:
+        spread = self.y - self.x + 1
+        value = (rng.randint(0, self.a) | rng.randint(self.x, self.y))
+        return (value + self.c) % spread + self.x
+
+
+class ZipfGenerator:
+    """Zipf-distributed ranks over [0, n) via inverse-CDF sampling."""
+
+    def __init__(self, n: int, theta: float = 0.8):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if theta <= 0:
+            raise ValueError(f"theta must be > 0, got {theta}")
+        self.n = n
+        self.theta = theta
+        weights = [1.0 / (rank ** theta) for rank in range(1, n + 1)]
+        total = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cdf.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cdf, point)
+
+
+def scramble(value: int, n: int) -> int:
+    """Deterministically scatter ``value`` across [0, n).
+
+    Zipf ranks are hottest at 0; scrambling spreads the hot set across
+    the page space so hot pages are not physically adjacent (which would
+    unrealistically favour sequential I/O and extent-level policies).
+    """
+    if n <= 1:
+        return 0
+    # Multiplicative hashing with a large odd constant.
+    return (value * 2_654_435_761) % n

@@ -1,0 +1,152 @@
+"""A TPC-E-like OLTP workload.
+
+TPC-E differs from TPC-C in exactly the way the paper leans on (§1, §4.3):
+it is **read-intensive** — roughly an order of magnitude more page reads
+than writes — so the write-back advantage of LC disappears and all three
+SSD designs (and TAC) perform similarly.  Its working set is broader and
+less skewed than TPC-C's, which produces the paper's working-set-vs-SSD
+crossover: the 20K-customer database's working set roughly fits the SSD
+(peak gains), the 10K one largely fits in RAM + easily in the SSD, and
+the 40K one overflows it.
+
+The scaled database keeps the paper's sizing: 10K/20K/40K customers are
+115/230/415 GB, i.e. 11.5k/23k/41.5k pages at 100 pages per GB.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.workloads.base import Transaction, choose_mix
+from repro.workloads.distributions import ZipfGenerator, scramble
+
+#: Transaction mix (simplified from TPC-E's 10 types; weights chosen to
+#: keep Trade-Result — the measured transaction — near its spec share
+#: and the read:write page ratio near 10:1).
+MIX = [
+    ("trade_result", 0.10),
+    ("trade_order", 0.10),
+    ("trade_lookup", 0.15),
+    ("customer_position", 0.25),
+    ("market_watch", 0.20),
+    ("security_detail", 0.20),
+]
+
+
+class TpceWorkload:
+    """TPC-E-like transactions over a customer-scaled database."""
+
+    metric_name = "tpsE"
+    metric_transaction = "trade_result"
+    metric_window = 1.0  # transactions per *second*
+
+    def __init__(self, customers_k: int, pages_per_customer_k: float = 1_150,
+                 skew_theta: float = 0.55,
+                 oracle: Optional[Dict[int, int]] = None):
+        if customers_k < 1:
+            raise ValueError(f"customers_k must be >= 1, got {customers_k}")
+        self.customers_k = customers_k
+        self.skew_theta = skew_theta
+        self.oracle = oracle
+        total = int(customers_k * pages_per_customer_k)
+        self.trade_pages = total * 50 // 100
+        self.customer_pages = total * 25 // 100
+        self.security_pages = total * 15 // 100
+        self.holding_pages = total * 10 // 100
+
+    def db_pages(self) -> int:
+        """Total pages the workload's tables need."""
+        return (self.trade_pages + self.customer_pages + self.security_pages
+                + self.holding_pages)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def setup(self, system) -> None:
+        """Create tables/indexes in the system's catalog."""
+        db = system.db
+        self.trade = db.create_index("trade", range(self.trade_pages))
+        self.customer = db.create_index("customer", range(self.customer_pages))
+        self.security = db.create_table("security", self.security_pages)
+        self.holding = db.create_index("holding", range(self.holding_pages))
+        self._trade_zipf = ZipfGenerator(self.trade_pages, self.skew_theta)
+        self._customer_zipf = ZipfGenerator(self.customer_pages,
+                                            self.skew_theta)
+        self._holding_zipf = ZipfGenerator(self.holding_pages,
+                                           self.skew_theta)
+        # Securities/market data: small hot set, mostly buffer-resident.
+        self._security_zipf = ZipfGenerator(self.security_pages, 0.9)
+
+    # ------------------------------------------------------------------
+    # Page pickers
+    # ------------------------------------------------------------------
+
+    def _trade_key(self, rng: random.Random) -> int:
+        return scramble(self._trade_zipf.sample(rng), self.trade_pages)
+
+    def _customer_key(self, rng: random.Random) -> int:
+        return scramble(self._customer_zipf.sample(rng), self.customer_pages)
+
+    def _holding_key(self, rng: random.Random) -> int:
+        return scramble(self._holding_zipf.sample(rng), self.holding_pages)
+
+    def _security_page(self, rng: random.Random) -> int:
+        rank = self._security_zipf.sample(rng)
+        return self.security.first_page + scramble(rank, self.security_pages)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self, rng: random.Random, system):
+        """Pick a transaction from the mix; returns ``(name, generator)``."""
+        name = choose_mix(rng, MIX)
+        return name, getattr(self, "_" + name)(rng, system)
+
+    def _trade_result(self, rng: random.Random, system):
+        """The measured transaction: settle a trade (read + update)."""
+        txn = Transaction(system, self.oracle)
+        key = self._trade_key(rng)
+        yield from txn.index_lookup(self.trade, key)
+        yield from txn.index_update(self.trade, key)
+        ckey = self._customer_key(rng)
+        yield from txn.index_lookup(self.customer, ckey)
+        hkey = self._holding_key(rng)
+        yield from txn.index_lookup(self.holding, hkey)
+        yield from txn.index_update(self.holding, hkey)
+        yield from txn.read(self._security_page(rng))
+        yield from txn.commit()
+
+    def _trade_order(self, rng: random.Random, system):
+        txn = Transaction(system, self.oracle)
+        yield from txn.index_lookup(self.customer, self._customer_key(rng))
+        yield from txn.read(self._security_page(rng))
+        yield from txn.index_update(self.trade, self._trade_key(rng))
+        yield from txn.commit()
+
+    def _trade_lookup(self, rng: random.Random, system):
+        txn = Transaction(system, self.oracle)
+        for _ in range(4):
+            yield from txn.index_lookup(self.trade, self._trade_key(rng))
+        yield from txn.commit()
+
+    def _customer_position(self, rng: random.Random, system):
+        txn = Transaction(system, self.oracle)
+        yield from txn.index_lookup(self.customer, self._customer_key(rng))
+        for _ in range(4):
+            yield from txn.index_lookup(self.holding, self._holding_key(rng))
+        yield from txn.commit()
+
+    def _market_watch(self, rng: random.Random, system):
+        txn = Transaction(system, self.oracle)
+        for _ in range(5):
+            yield from txn.read(self._security_page(rng))
+        yield from txn.commit()
+
+    def _security_detail(self, rng: random.Random, system):
+        txn = Transaction(system, self.oracle)
+        yield from txn.read(self._security_page(rng))
+        yield from txn.index_lookup(self.trade, self._trade_key(rng))
+        yield from txn.commit()

@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import HddArray, Ssd
+from repro.core import DESIGNS, SsdDesignConfig
+from repro.core.lc import LazyCleaningManager
+from repro.engine import BufferPool, Checkpointer, Database, DiskManager, WriteAheadLog
+from repro.harness.system import System, SystemConfig
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def drive(env, generator):
+    """Run a process generator to completion; return its value."""
+    process = env.process(generator)
+    env.run(process)
+    return process.value
+
+
+def settle(env, seconds=5.0):
+    """Let in-flight background work (evictions, cleaner) finish."""
+    env.run(until=env.now + seconds)
+
+
+class MiniSystem:
+    """A hand-wired small system for engine/core tests (no catalog)."""
+
+    def __init__(self, design="noSSD", db_pages=2_000, bp_pages=100,
+                 ssd_frames=500, env=None, **ssd_kwargs):
+        self.env = env or Environment()
+        self.data_device = HddArray(self.env)
+        self.ssd_device = Ssd(self.env)
+        self.disk = DiskManager(self.env, self.data_device, db_pages)
+        self.wal = WriteAheadLog(self.env)
+        config = SsdDesignConfig(
+            ssd_frames=0 if design == "noSSD" else ssd_frames, **ssd_kwargs)
+        self.ssd_manager = DESIGNS[design](
+            self.env, self.ssd_device, self.disk, self.wal, config)
+        self.bp = BufferPool(self.env, bp_pages, self.disk, self.wal,
+                             self.ssd_manager)
+        self.ssd_manager.bp = self.bp
+        if isinstance(self.ssd_manager, LazyCleaningManager):
+            self.ssd_manager.start_cleaner()
+        self.checkpointer = Checkpointer(self.env, self.bp, self.wal)
+        self.db = Database(db_pages)
+
+    def churn(self, accesses=2_000, write_fraction=0.33, span=None, seed=7,
+              workers=8):
+        """Run a uniform random read/write mix to exercise the stack."""
+        span = span or self.disk.npages
+        rng = random.Random(seed)
+
+        def worker():
+            for _ in range(accesses // workers):
+                pid = rng.randrange(span)
+                frame = yield from self.bp.fetch(pid)
+                if rng.random() < write_fraction:
+                    self.bp.mark_dirty(frame)
+                self.bp.unpin(frame)
+
+        procs = [self.env.process(worker()) for _ in range(workers)]
+        self.env.run(self.env.all_of(procs))
+        settle(self.env)
+
+
+@pytest.fixture
+def mini():
+    return MiniSystem
+
+
+@pytest.fixture
+def small_system():
+    """A small assembled System (noSSD) for harness tests."""
+    return System(SystemConfig(design="noSSD", db_pages=1_000, bp_pages=64,
+                               ssd=SsdDesignConfig(ssd_frames=0)))

@@ -1,0 +1,141 @@
+"""Unit and property tests for the lazy victim-selection heaps."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heaps import LazyMinHeap
+from repro.core.ssd_buffer_table import SsdRecord
+
+
+def make_records(n):
+    records = []
+    for i in range(n):
+        record = SsdRecord(i)
+        record.page_id = i
+        record.valid = True
+        records.append(record)
+    return records
+
+
+def clean_heap():
+    return LazyMinHeap(key=lambda r: r.lru2_key(),
+                       member=lambda r: r.valid and not r.dirty)
+
+
+class TestBasics:
+    def test_pop_returns_minimum(self):
+        heap = clean_heap()
+        records = make_records(3)
+        for record, access in zip(records, (5.0, 1.0, 3.0)):
+            record.prev_access = access
+            heap.push(record)
+        assert heap.pop() is records[1]
+        assert heap.pop() is records[2]
+        assert heap.pop() is records[0]
+        assert heap.pop() is None
+
+    def test_repush_updates_priority(self):
+        heap = clean_heap()
+        records = make_records(2)
+        records[0].prev_access = 1.0
+        records[1].prev_access = 2.0
+        heap.push(records[0])
+        heap.push(records[1])
+        records[0].prev_access = 9.0
+        heap.push(records[0])  # re-accessed: now hottest
+        assert heap.pop() is records[1]
+
+    def test_remove_makes_entry_stale(self):
+        heap = clean_heap()
+        records = make_records(2)
+        records[0].prev_access = 1.0
+        records[1].prev_access = 2.0
+        for record in records:
+            heap.push(record)
+        heap.remove(records[0])
+        assert heap.pop() is records[1]
+
+    def test_member_filter_drops_non_members(self):
+        heap = clean_heap()
+        records = make_records(2)
+        for record in records:
+            heap.push(record)
+        records[0].dirty = True  # no longer belongs to the clean heap
+        assert heap.pop() is records[1]
+
+    def test_key_drift_reinserts(self):
+        """If a record's key changed since push (TAC temperatures only
+        grow), pop must still return the true minimum."""
+        temps = {0: 1.0, 1: 2.0}
+        heap = LazyMinHeap(key=lambda r: temps[r.frame_no],
+                           member=lambda r: True)
+        records = make_records(2)
+        heap.push(records[0])
+        heap.push(records[1])
+        temps[0] = 10.0  # record 0 got hot after push
+        assert heap.pop() is records[1]
+
+    def test_peek_does_not_remove(self):
+        heap = clean_heap()
+        record = make_records(1)[0]
+        record.prev_access = 1.0
+        heap.push(record)
+        assert heap.peek() is record
+        assert heap.pop() is record
+
+    def test_clear(self):
+        heap = clean_heap()
+        for record in make_records(3):
+            heap.push(record)
+        heap.clear()
+        assert heap.pop() is None
+
+
+class TestPropertyBased:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=40, unique=True))
+    def test_pops_in_sorted_order(self, accesses):
+        heap = clean_heap()
+        records = make_records(len(accesses))
+        for record, access in zip(records, accesses):
+            record.prev_access = access
+            heap.push(record)
+        popped = []
+        while True:
+            record = heap.pop()
+            if record is None:
+                break
+            popped.append(record.prev_access)
+        assert popped == sorted(accesses)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_matches_reference_under_mixed_ops(self, data):
+        """Interleave push/remove/pop and compare against a brute-force
+        reference implementation."""
+        heap = clean_heap()
+        records = make_records(20)
+        live = {}
+        ops = data.draw(st.lists(st.tuples(
+            st.sampled_from(["push", "remove", "pop"]),
+            st.integers(min_value=0, max_value=19),
+            st.floats(min_value=0, max_value=100)), max_size=60))
+        for op, index, access in ops:
+            record = records[index]
+            if op == "push":
+                record.prev_access = access
+                heap.push(record)
+                live[index] = access
+            elif op == "remove":
+                heap.remove(record)
+                live.pop(index, None)
+            else:
+                expected = (min(live, key=lambda i: (live[i], ))
+                            if live else None)
+                actual = heap.pop()
+                if expected is None:
+                    assert actual is None
+                else:
+                    assert actual.prev_access == min(live.values())
+                    live.pop(actual.frame_no)

@@ -1,0 +1,118 @@
+"""Property tests for the paper's Figure 3: the six legal relationships
+among the (up to) three copies of a page — memory, SSD, disk.
+
+Legal states (P' denotes a newer version):
+
+=====  =========  =====  =====
+Case   Memory     SSD    Disk
+=====  =========  =====  =====
+1      P          —      P
+2      P'         —      P
+3      —          P      P
+4      —          P'     P      (LC only)
+5      P          P      P
+6      P'         P'     P      (LC only)
+=====  =========  =====  =====
+
+Never legal: a memory copy differing from a valid SSD copy (dirtying
+invalidates the SSD copy first), or a valid clean SSD copy differing
+from disk.  CW/DW/TAC additionally never hold an SSD copy newer than
+disk (cases 4 and 6 are LC-only).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import MiniSystem, settle
+
+
+def classify(sys_, page_id):
+    """Map a page's current copies onto a Figure 3 case number."""
+    frame = sys_.bp.get_resident(page_id)
+    record = sys_.ssd_manager.table.lookup_valid(page_id)
+    disk_version = sys_.disk.disk_version(page_id)
+    mem = frame.version if frame is not None else None
+    ssd = record.version if record is not None else None
+    if mem is not None and ssd is None:
+        return 1 if mem == disk_version else 2
+    if mem is None and ssd is not None:
+        return 3 if ssd == disk_version else 4
+    if mem is not None and ssd is not None:
+        if mem != ssd:
+            return None  # illegal
+        return 5 if mem == disk_version else 6
+    return 0  # only the disk copy exists
+
+
+def run_random_workload(design, seed, accesses=1_200):
+    sys_ = MiniSystem(design=design, db_pages=400, bp_pages=32,
+                      ssd_frames=100)
+    rng = random.Random(seed)
+
+    def worker():
+        for _ in range(accesses // 4):
+            pid = rng.randrange(200)
+            frame = yield from sys_.bp.fetch(pid)
+            if rng.random() < 0.4:
+                sys_.bp.mark_dirty(frame)
+            sys_.bp.unpin(frame)
+
+    procs = [sys_.env.process(worker()) for _ in range(4)]
+    sys_.env.run(sys_.env.all_of(procs))
+    settle(sys_.env)
+    return sys_
+
+
+class TestFigure3:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_lc_reaches_only_legal_states(self, seed):
+        sys_ = run_random_workload("LC", seed)
+        for page in range(400):
+            case = classify(sys_, page)
+            assert case in (0, 1, 2, 3, 4, 5, 6), (page, case)
+        sys_.ssd_manager.check_invariants()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           design=st.sampled_from(["CW", "DW"]))
+    def test_cw_dw_never_reach_cases_4_and_6(self, seed, design):
+        """Write-through designs keep SSD == disk: only cases 1,2,3,5."""
+        sys_ = run_random_workload(design, seed)
+        for page in range(400):
+            case = classify(sys_, page)
+            assert case in (0, 1, 2, 3, 5), (design, page, case)
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_tac_never_holds_newer_than_disk(self, seed):
+        sys_ = run_random_workload("TAC", seed)
+        for page in range(400):
+            case = classify(sys_, page)
+            assert case in (0, 1, 2, 3, 5), (page, case)
+
+    def test_lc_actually_exercises_case_4(self):
+        """The write-back design must produce SSD-newer-than-disk pages,
+        otherwise the LC-only cases were never tested."""
+        sys_ = run_random_workload("LC", seed=1)
+        cases = {classify(sys_, page) for page in range(400)}
+        assert 4 in cases or 6 in cases
+
+    def test_dirty_memory_invalidates_ssd_copy_immediately(self):
+        sys_ = MiniSystem(design="DW", db_pages=100, bp_pages=16,
+                          ssd_frames=50)
+
+        def proc():
+            frame = yield from sys_.bp.fetch(1)
+            sys_.bp.unpin(frame)
+            yield from sys_.ssd_manager._cache_page(1, frame.version, False)
+            frame = yield from sys_.bp.fetch(1)
+            sys_.bp.mark_dirty(frame)
+            sys_.bp.unpin(frame)
+
+        process = sys_.env.process(proc())
+        sys_.env.run(process)
+        assert not sys_.ssd_manager.contains_valid(1)

@@ -1,0 +1,112 @@
+"""Property-based whole-stack tests: arbitrary workloads, durable facts.
+
+These drive random fetch/update/commit/checkpoint/crash schedules through
+every design and assert the system-level contracts:
+
+* no committed update is ever lost across a crash (WAL + checkpoint
+  correctness, including LC's SSD flush);
+* the Figure 3 page-copy invariants hold at quiescence;
+* the SSD never exceeds its frame budget and its counters stay exact.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SsdDesignConfig
+from repro.engine.recovery import simulate_crash_and_recover
+from repro.harness.system import System, SystemConfig
+from tests.conftest import drive, settle
+
+DESIGNS = ["noSSD", "CW", "DW", "LC", "TAC"]
+
+
+def build(design, seed):
+    rng = random.Random(seed)
+    system = System(SystemConfig(
+        design=design, db_pages=300, bp_pages=24,
+        ssd=SsdDesignConfig(
+            ssd_frames=0 if design == "noSSD" else 80,
+            dirty_threshold=rng.choice([0.1, 0.5, 0.9]))))
+    return system, rng
+
+
+def random_schedule(system, rng, steps, oracle):
+    """One client performing a random mix of operations."""
+    def worker():
+        for _ in range(steps):
+            action = rng.random()
+            page = rng.randrange(150)
+            if action < 0.55:
+                frame = yield from system.bp.fetch(page)
+                system.bp.unpin(frame)
+            elif action < 0.90:
+                frame = yield from system.bp.fetch(page)
+                system.bp.mark_dirty(frame)
+                written = (frame.page_id, frame.version)
+                system.bp.unpin(frame)
+                yield from system.wal.force(system.wal.tail_lsn)
+                if written[1] > oracle.get(written[0], -1):
+                    oracle[written[0]] = written[1]
+            elif action < 0.95:
+                yield from system.bp.prefetch(page, min(8, 300 - page))
+            else:
+                yield from system.checkpointer.checkpoint()
+
+    return worker
+
+
+class TestDurability:
+    @settings(max_examples=10, deadline=None)
+    @given(design=st.sampled_from(DESIGNS),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_crash_never_loses_committed_updates(self, design, seed):
+        system, rng = build(design, seed)
+        oracle = {}
+        workers = [
+            system.env.process(
+                random_schedule(system, rng, steps=60, oracle=oracle)())
+            for _ in range(3)
+        ]
+        system.env.run(system.env.all_of(workers))
+        settle(system.env)
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+
+    @settings(max_examples=8, deadline=None)
+    @given(design=st.sampled_from(["CW", "DW", "LC", "TAC"]),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_invariants_and_budgets_after_random_schedule(self, design, seed):
+        system, rng = build(design, seed)
+        oracle = {}
+        workers = [
+            system.env.process(
+                random_schedule(system, rng, steps=80, oracle=oracle)())
+            for _ in range(3)
+        ]
+        system.env.run(system.env.all_of(workers))
+        settle(system.env)
+        manager = system.ssd_manager
+        manager.check_invariants()
+        table = manager.table
+        assert table.used_count <= manager.config.ssd_frames
+        assert table.used_count + table.free_count == manager.config.ssd_frames
+        assert table.valid_count == sum(
+            1 for r in table.records if r.valid)
+        assert table.dirty_count == sum(
+            1 for r in table.records if r.valid and r.dirty)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_checkpoint_then_crash_needs_no_redo_for_old_updates(self, seed):
+        """Everything before a checkpoint must already be on disk."""
+        system, rng = build("LC", seed)
+        oracle = {}
+        drive(system.env,
+              random_schedule(system, rng, steps=80, oracle=oracle)())
+        settle(system.env)
+        drive(system.env, system.checkpointer.checkpoint())
+        settle(system.env)
+        for page, version in oracle.items():
+            assert system.disk.disk_version(page) >= version

@@ -1,0 +1,145 @@
+"""Tests for the related-work designs (paper §5): rotating SSD and the
+exclusive approach."""
+
+import pytest
+
+from repro.engine.page import Frame
+from repro.engine.recovery import simulate_crash_and_recover
+from repro.harness.system import System, SystemConfig
+from repro.core import SsdDesignConfig
+from tests.conftest import MiniSystem, drive, settle
+
+
+def evict_clean(sys_, page_id, version=0):
+    frame = Frame(page_id, version=version)
+    drive(sys_.env, sys_.ssd_manager.on_evict_clean(frame))
+
+
+def evict_dirty(sys_, page_id, version=1):
+    frame = Frame(page_id, version=version)
+    frame.dirty = True
+    drive(sys_.env, sys_.ssd_manager.on_evict_dirty(frame))
+
+
+class TestRotating:
+    def make(self, frames=4):
+        return MiniSystem(design="ROT", db_pages=500, bp_pages=32,
+                          ssd_frames=frames)
+
+    def test_frames_claimed_in_rotation(self):
+        sys_ = self.make(frames=4)
+        for page in range(4):
+            evict_clean(sys_, page)
+        assert [r.page_id for r in sys_.ssd_manager.table.records] == [0, 1, 2, 3]
+
+    def test_rotation_displaces_even_hot_pages(self):
+        """The design's defining weakness: the pointer evicts whatever is
+        in the next frame, hot or not."""
+        sys_ = self.make(frames=2)
+        evict_clean(sys_, 0)
+        evict_clean(sys_, 1)
+        # Make page 0 hot.
+        drive(sys_.env, sys_.ssd_manager.try_read(0))
+        drive(sys_.env, sys_.ssd_manager.try_read(0))
+        evict_clean(sys_, 9)  # rotates into frame 0, displacing hot page 0
+        assert not sys_.ssd_manager.contains_valid(0)
+        assert sys_.ssd_manager.contains_valid(9)
+
+    def test_ssd_writes_are_sequential(self):
+        sys_ = self.make(frames=8)
+        for page in range(8):
+            evict_clean(sys_, page)
+        from repro.storage.request import IoKind
+        stats = sys_.ssd_device.stats
+        assert stats.by_kind[IoKind.SEQUENTIAL_WRITE] == 8
+        assert stats.by_kind[IoKind.RANDOM_WRITE] == 0
+
+    def test_displaced_newer_page_copied_to_disk(self):
+        sys_ = self.make(frames=1)
+        evict_dirty(sys_, 7, version=3)
+        assert sys_.disk.disk_version(7) == 0
+        evict_clean(sys_, 8)  # displaces page 7, whose copy is newest
+        assert sys_.disk.disk_version(7) == 3
+
+    def test_checkpoint_flushes_dirty_pages(self):
+        sys_ = self.make(frames=8)
+        for page in range(6):
+            evict_dirty(sys_, page, version=2)
+        drive(sys_.env, sys_.checkpointer.checkpoint())
+        assert sys_.ssd_manager.dirty_frames == 0
+        for page in range(6):
+            assert sys_.disk.disk_version(page) == 2
+
+
+class TestExclusive:
+    def make(self, frames=64):
+        return MiniSystem(design="EXCL", db_pages=500, bp_pages=32,
+                          ssd_frames=frames)
+
+    def test_read_removes_ssd_copy(self):
+        sys_ = self.make()
+        evict_clean(sys_, 5)
+        assert sys_.ssd_manager.contains_valid(5)
+
+        def proc():
+            return (yield from sys_.ssd_manager.try_read(5))
+
+        assert drive(sys_.env, proc()) == 0
+        assert not sys_.ssd_manager.contains_valid(5)
+
+    def test_page_never_in_both_levels(self):
+        sys_ = self.make()
+        sys_.churn(accesses=2_000, write_fraction=0.3, span=300, seed=17)
+        for record in sys_.ssd_manager.table.occupied_records():
+            if record.valid:
+                assert record.page_id not in sys_.bp.frames, record
+
+    def test_dirty_handoff_marks_memory_frame_dirty(self):
+        """Reading the SSD's only newest copy makes the frame dirty so
+        durability machinery keeps covering it."""
+        sys_ = self.make()
+        evict_dirty(sys_, 5, version=4)  # SSD-only newest copy
+
+        def proc():
+            frame = yield from sys_.bp.fetch(5)
+            sys_.bp.unpin(frame)
+            return frame
+
+        frame = drive(sys_.env, proc())
+        assert frame.version == 4
+        assert frame.dirty
+        assert not sys_.ssd_manager.contains_valid(5)
+
+    def test_crash_safety(self):
+        system = System(SystemConfig(
+            design="EXCL", db_pages=600, bp_pages=48,
+            ssd=SsdDesignConfig(ssd_frames=200, dirty_threshold=0.9)))
+        import random
+        rng = random.Random(23)
+        oracle = {}
+
+        def worker():
+            for _ in range(300):
+                page = rng.randrange(300)
+                frame = yield from system.bp.fetch(page)
+                if rng.random() < 0.5:
+                    system.bp.mark_dirty(frame)
+                    written = (frame.page_id, frame.version)
+                else:
+                    written = None
+                system.bp.unpin(frame)
+                if written:
+                    yield from system.wal.force(system.wal.tail_lsn)
+                    oracle[written[0]] = max(oracle.get(written[0], 0),
+                                             written[1])
+
+        drive(system.env, worker())
+        settle(system.env)
+        drive(system.env, system.checkpointer.checkpoint())
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+
+    def test_invariants_after_churn(self):
+        sys_ = self.make()
+        sys_.churn(accesses=2_000, write_fraction=0.4, span=300, seed=29)
+        sys_.ssd_manager.check_invariants()

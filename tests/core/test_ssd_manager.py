@@ -1,0 +1,162 @@
+"""Unit tests for the shared SSD-manager machinery."""
+
+import pytest
+
+from tests.conftest import MiniSystem, drive, settle
+
+
+def cached(sys_, page_id, version=0, dirty=False):
+    """Drive the manager's cache path directly."""
+    return drive(sys_.env,
+                 sys_.ssd_manager._cache_page(page_id, version, dirty))
+
+
+@pytest.fixture
+def dw():
+    return MiniSystem(design="DW", db_pages=500, bp_pages=32, ssd_frames=16)
+
+
+class TestTryRead:
+    def test_absent_page_returns_none(self, dw):
+        def proc():
+            return (yield from dw.ssd_manager.try_read(1))
+
+        assert drive(dw.env, proc()) is None
+
+    def test_cached_page_served(self, dw):
+        cached(dw, 1, version=0)
+
+        def proc():
+            return (yield from dw.ssd_manager.try_read(1))
+
+        assert drive(dw.env, proc()) == 0
+        assert dw.ssd_manager.stats.reads == 1
+
+    def test_read_for_correctness_requires_presence(self, dw):
+        def proc():
+            yield from dw.ssd_manager.read_for_correctness(99)
+
+        with pytest.raises(LookupError):
+            drive(dw.env, proc())
+
+
+class TestCaching:
+    def test_cache_installs_and_writes(self, dw):
+        assert cached(dw, 3) is True
+        assert dw.ssd_manager.contains_valid(3)
+        assert dw.ssd_device.stats.pages_written == 1
+
+    def test_recache_same_version_is_free(self, dw):
+        cached(dw, 3)
+        writes = dw.ssd_device.stats.pages_written
+        assert cached(dw, 3) is True
+        assert dw.ssd_device.stats.pages_written == writes
+
+    def test_full_ssd_evicts_lru2_victim(self, dw):
+        for page in range(16):
+            cached(dw, page)
+        # Re-read page 0 so it has a two-access history (hot).
+        drive(dw.env, dw.ssd_manager.try_read(0))
+        assert cached(dw, 100) is True
+        assert dw.ssd_manager.stats.evictions == 1
+        assert dw.ssd_manager.contains_valid(0)
+        assert dw.ssd_manager.contains_valid(100)
+
+    def test_throttle_declines_optional_io(self, dw):
+        dw.ssd_manager.config.throttle_limit = 1
+        # Saturate the SSD with background reads.
+        for i in range(16):
+            cached(dw, i)
+        for i in range(16):
+            dw.env.process(dw.ssd_manager.try_read(i))
+        before = dw.ssd_manager.stats.declined_throttle
+        result = cached(dw, 200)
+        assert result is False
+        assert dw.ssd_manager.stats.declined_throttle > before
+
+
+class TestInvalidation:
+    def test_invalidate_frees_frame_physically(self, dw):
+        cached(dw, 5)
+        dw.ssd_manager.invalidate(5)
+        assert not dw.ssd_manager.contains_valid(5)
+        assert dw.ssd_manager.table.free_count == 16
+        assert dw.ssd_manager.stats.invalidations == 1
+
+    def test_invalidate_absent_is_noop(self, dw):
+        dw.ssd_manager.invalidate(5)
+        assert dw.ssd_manager.stats.invalidations == 0
+
+
+class TestTrimPlan:
+    def test_all_disk_when_ssd_empty(self, dw):
+        plan = dw.ssd_manager.trim_plan(list(range(10, 18)))
+        assert (plan.disk_start, plan.disk_count) == (10, 8)
+        assert not plan.ssd_pages
+
+    def test_leading_and_trailing_trim(self, dw):
+        cached(dw, 10)
+        cached(dw, 11)
+        cached(dw, 17)
+        plan = dw.ssd_manager.trim_plan(list(range(10, 18)))
+        assert (plan.disk_start, plan.disk_count) == (12, 5)
+        assert sorted(plan.ssd_pages) == [10, 11, 17]
+
+    def test_middle_same_version_stays_in_disk_run(self, dw):
+        cached(dw, 14)  # middle page, same version as disk
+        plan = dw.ssd_manager.trim_plan(list(range(10, 18)))
+        assert (plan.disk_start, plan.disk_count) == (10, 8)
+        assert not plan.ssd_pages
+
+    def test_middle_newer_version_read_from_ssd(self, dw):
+        cached(dw, 14, version=3, dirty=True)  # newer than disk (v0)
+        plan = dw.ssd_manager.trim_plan(list(range(10, 18)))
+        assert plan.disk_count == 8
+        assert list(plan.ssd_pages) == [14]
+        assert plan.skip_in_run == frozenset({14})
+
+    def test_fully_cached_run_has_no_disk_io(self, dw):
+        for page in range(10, 14):
+            cached(dw, page)
+        plan = dw.ssd_manager.trim_plan(list(range(10, 14)))
+        assert plan.disk_count == 0
+        assert sorted(plan.ssd_pages) == [10, 11, 12, 13]
+
+    def test_empty_plan(self, dw):
+        plan = dw.ssd_manager.trim_plan([])
+        assert plan.disk_count == 0
+
+
+class TestCrashRestart:
+    def test_cold_crash_clears_table(self, dw):
+        cached(dw, 1)
+        dw.ssd_manager.on_crash()
+        assert dw.ssd_manager.used_frames == 0
+
+    def test_warm_crash_keeps_clean_drops_dirty(self):
+        sys_ = MiniSystem(design="LC", db_pages=500, bp_pages=32,
+                          ssd_frames=16, warm_restart=True)
+        cached(sys_, 1, version=0, dirty=False)
+        cached(sys_, 2, version=4, dirty=True)
+        sys_.ssd_manager.on_crash()
+        assert sys_.ssd_manager.contains_valid(1)
+        assert not sys_.ssd_manager.contains_valid(2)
+
+    def test_restart_drops_stale_clean_frames(self):
+        sys_ = MiniSystem(design="DW", db_pages=500, bp_pages=32,
+                          ssd_frames=16, warm_restart=True)
+        cached(sys_, 1, version=0)
+        # Redo advanced the disk past the SSD copy.
+        sys_.disk._persist(1, 7)
+        sys_.ssd_manager.on_crash()
+        sys_.ssd_manager.on_restart(last_checkpoint_lsn=0)
+        assert not sys_.ssd_manager.contains_valid(1)
+
+
+class TestEndToEndInvariants:
+    @pytest.mark.parametrize("design", ["CW", "DW", "LC", "TAC"])
+    def test_invariants_hold_after_churn(self, design):
+        sys_ = MiniSystem(design=design, db_pages=800, bp_pages=64,
+                          ssd_frames=200)
+        sys_.churn(accesses=3_000, write_fraction=0.3, seed=13)
+        sys_.ssd_manager.check_invariants()

@@ -1,0 +1,167 @@
+"""Checkpoint and crash-recovery tests — including the LC correctness
+property the paper's §3.2 checkpoint change exists to protect."""
+
+import random
+
+import pytest
+
+from repro.engine.recovery import RecoveryError, RecoveryManager, simulate_crash_and_recover
+from repro.harness.system import System, SystemConfig
+from repro.core import SsdDesignConfig
+from tests.conftest import drive, settle
+
+
+def make_system(design, **ssd_kwargs):
+    return System(SystemConfig(
+        design=design, db_pages=800, bp_pages=64,
+        ssd=SsdDesignConfig(ssd_frames=0 if design == "noSSD" else 300,
+                            dirty_threshold=0.9, **ssd_kwargs)))
+
+
+def run_updates(system, n=400, seed=11, oracle=None):
+    rng = random.Random(seed)
+    oracle = {} if oracle is None else oracle
+
+    def worker():
+        for _ in range(n):
+            pid = rng.randrange(system.config.db_pages // 2)
+            frame = yield from system.bp.fetch(pid)
+            system.bp.mark_dirty(frame)
+            written = (frame.page_id, frame.version)
+            system.bp.unpin(frame)
+            lsn = system.wal.tail_lsn
+            yield from system.wal.force(lsn)
+            if written[1] > oracle.get(written[0], -1):
+                oracle[written[0]] = written[1]
+
+    drive(system.env, worker())
+    settle(system.env)
+    return oracle
+
+
+class TestCheckpoint:
+    @pytest.mark.parametrize("design", ["noSSD", "CW", "DW", "LC", "TAC"])
+    def test_checkpoint_flushes_all_dirty_state(self, design):
+        system = make_system(design)
+        run_updates(system)
+        drive(system.env, system.checkpointer.checkpoint())
+        settle(system.env)
+        assert system.bp.dirty_count == 0
+        assert system.ssd_manager.dirty_frames == 0
+
+    def test_checkpoint_truncates_log(self):
+        system = make_system("DW")
+        run_updates(system)
+        assert system.wal.records
+        drive(system.env, system.checkpointer.checkpoint())
+        tail = [r for r in system.wal.records
+                if r.lsn <= system.checkpointer.last_checkpoint_lsn]
+        assert not tail
+
+    def test_checkpoint_durations_recorded(self):
+        system = make_system("LC")
+        run_updates(system)
+        drive(system.env, system.checkpointer.checkpoint())
+        assert system.checkpointer.checkpoints_taken == 1
+        assert system.checkpointer.durations[0] > 0
+
+    def test_lc_checkpoint_flushes_dirty_ssd_pages(self):
+        system = make_system("LC")
+        run_updates(system)
+        assert system.ssd_manager.dirty_frames > 0  # λ=90%: lots buffered
+        drive(system.env, system.checkpointer.checkpoint())
+        assert system.ssd_manager.dirty_frames == 0
+        assert system.ssd_manager.stats.checkpoint_ssd_flushes > 0
+
+    def test_lc_checkpoint_longer_than_dw(self):
+        """LC pays for flushing the SSD's dirty pages too (§4.3.3)."""
+        durations = {}
+        for design in ("DW", "LC"):
+            system = make_system(design)
+            run_updates(system)
+            drive(system.env, system.checkpointer.checkpoint())
+            durations[design] = system.checkpointer.durations[0]
+        assert durations["LC"] > durations["DW"]
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("design", ["noSSD", "CW", "DW", "LC", "TAC"])
+    def test_no_committed_update_lost(self, design):
+        system = make_system(design)
+        oracle = run_updates(system)
+        redone = drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+        assert redone >= 0  # verification inside raises on loss
+
+    @pytest.mark.parametrize("design", ["DW", "LC"])
+    def test_recovery_after_checkpoint_and_more_updates(self, design):
+        system = make_system(design)
+        oracle = run_updates(system, seed=1)
+        drive(system.env, system.checkpointer.checkpoint())
+        run_updates(system, seed=2, oracle=oracle)
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+
+    def test_lc_without_ssd_flush_loses_updates(self):
+        """Remove LC's checkpoint flush and recovery must fail: this is
+        why §3.2 modifies the checkpoint logic."""
+        system = make_system("LC")
+        # Sabotage: make the LC checkpoint skip the SSD drain.
+        system.ssd_manager.on_checkpoint = lambda: iter(())
+        oracle = run_updates(system, seed=3)
+        if system.ssd_manager.dirty_frames == 0:
+            pytest.skip("no dirty SSD pages accumulated")
+        drive(system.env, system.checkpointer.checkpoint())
+        with pytest.raises(RecoveryError):
+            drive(system.env, simulate_crash_and_recover(
+                system.env, system, committed=oracle))
+
+    def test_redo_is_idempotent(self):
+        system = make_system("DW")
+        oracle = run_updates(system)
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+        recovery = RecoveryManager(system.env, system.disk, system.wal)
+        redone = drive(system.env, recovery.redo(
+            system.checkpointer.last_checkpoint_lsn))
+        assert redone == 0  # nothing left to redo
+
+    def test_unforced_tail_is_legitimately_lost(self):
+        system = make_system("noSSD")
+
+        def worker():
+            frame = yield from system.bp.fetch(1)
+            system.bp.mark_dirty(frame)
+            system.bp.unpin(frame)
+            # No force: the update is not durable.
+
+        drive(system.env, worker())
+        system.bp.drop_all()
+        recovery = RecoveryManager(system.env, system.disk, system.wal)
+        drive(system.env, recovery.redo(-1))
+        assert system.disk.disk_version(1) == 0
+
+
+class TestWarmRestart:
+    def test_cold_restart_empties_ssd(self):
+        system = make_system("DW")
+        run_updates(system)
+        assert system.ssd_manager.used_frames > 0
+        drive(system.env, simulate_crash_and_recover(system.env, system))
+        assert system.ssd_manager.used_frames == 0
+
+    def test_warm_restart_keeps_clean_frames(self):
+        system = make_system("DW", warm_restart=True)
+        oracle = run_updates(system)
+        before = system.ssd_manager.used_frames
+        assert before > 0
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+        assert system.ssd_manager.used_frames > 0
+
+    def test_warm_restart_drops_frames_made_stale_by_redo(self):
+        system = make_system("DW", warm_restart=True)
+        oracle = run_updates(system)
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+        system.ssd_manager.check_invariants()

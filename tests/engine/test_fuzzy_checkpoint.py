@@ -1,0 +1,109 @@
+"""Tests for fuzzy checkpoints: fast checkpoint, slower restart (§2.3.3)."""
+
+import random
+
+import pytest
+
+from repro.core import SsdDesignConfig
+from repro.engine.recovery import RecoveryManager, simulate_crash_and_recover
+from repro.harness.system import System, SystemConfig
+from tests.conftest import drive, settle
+
+
+def make_system(policy, design="LC", dirty_threshold=0.9):
+    return System(SystemConfig(
+        design=design, db_pages=800, bp_pages=64,
+        checkpoint_policy=policy,
+        ssd=SsdDesignConfig(ssd_frames=300,
+                            dirty_threshold=dirty_threshold)))
+
+
+def run_updates(system, n=300, seed=31):
+    rng = random.Random(seed)
+    oracle = {}
+
+    def worker():
+        for _ in range(n):
+            page = rng.randrange(400)
+            frame = yield from system.bp.fetch(page)
+            system.bp.mark_dirty(frame)
+            written = (frame.page_id, frame.version)
+            system.bp.unpin(frame)
+            yield from system.wal.force(system.wal.tail_lsn)
+            oracle[written[0]] = max(oracle.get(written[0], 0), written[1])
+
+    drive(system.env, worker())
+    settle(system.env)
+    return oracle
+
+
+class TestFuzzyCheckpoint:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(checkpoint_policy="vague")
+
+    def test_fuzzy_checkpoint_is_nearly_free(self):
+        sharp = make_system("sharp")
+        fuzzy = make_system("fuzzy")
+        for system in (sharp, fuzzy):
+            run_updates(system)
+            drive(system.env, system.checkpointer.checkpoint())
+        assert (fuzzy.checkpointer.durations[0]
+                < sharp.checkpointer.durations[0] / 5)
+
+    def test_fuzzy_checkpoint_does_not_flush(self):
+        system = make_system("fuzzy")
+        run_updates(system)
+        dirty_before = system.bp.dirty_count
+        ssd_dirty_before = system.ssd_manager.dirty_frames
+        drive(system.env, system.checkpointer.checkpoint())
+        assert system.bp.dirty_count == dirty_before
+        assert system.ssd_manager.dirty_frames == ssd_dirty_before
+
+    def test_fuzzy_truncation_bounded_by_oldest_dirty(self):
+        system = make_system("fuzzy")
+        run_updates(system)
+        drive(system.env, system.checkpointer.checkpoint())
+        rec_lsns = [f.rec_lsn for f in system.bp.dirty_frames()
+                    if f.rec_lsn >= 0]
+        ssd_oldest = system.ssd_manager.oldest_dirty_rec_lsn()
+        if ssd_oldest is not None:
+            rec_lsns.append(ssd_oldest)
+        if rec_lsns:
+            assert system.checkpointer.last_checkpoint_lsn < min(rec_lsns)
+
+    @pytest.mark.parametrize("design", ["noSSD", "DW", "LC"])
+    def test_recovery_correct_after_fuzzy_checkpoint(self, design):
+        system = make_system("fuzzy", design=design)
+        oracle = run_updates(system)
+        drive(system.env, system.checkpointer.checkpoint())
+        oracle2 = run_updates(system, n=150, seed=32)
+        oracle.update({k: max(v, oracle.get(k, 0))
+                       for k, v in oracle2.items()})
+        drive(system.env, simulate_crash_and_recover(
+            system.env, system, committed=oracle))
+
+    def test_restart_redo_larger_than_after_sharp(self):
+        """The paper's trade: fuzzy checkpoints shift cost to restart."""
+        redone = {}
+        for policy in ("sharp", "fuzzy"):
+            system = make_system(policy)
+            oracle = run_updates(system)
+            drive(system.env, system.checkpointer.checkpoint())
+            redone[policy] = drive(system.env, simulate_crash_and_recover(
+                system.env, system, committed=oracle))
+        assert redone["fuzzy"] > redone["sharp"]
+
+    def test_lc_lambda_inflates_fuzzy_restart(self):
+        """More dirty pages parked in the SSD (higher λ) push the fuzzy
+        truncation point further back — the §2.3.3 'recovery time
+        unacceptably long' effect."""
+        redo_work = {}
+        for lam in (0.1, 0.9):
+            system = make_system("fuzzy", dirty_threshold=lam)
+            run_updates(system)
+            drive(system.env, system.checkpointer.checkpoint())
+            recovery = RecoveryManager(system.env, system.disk, system.wal)
+            redo_work[lam] = len(recovery.analyze(
+                system.checkpointer.last_checkpoint_lsn))
+        assert redo_work[0.9] >= redo_work[0.1]

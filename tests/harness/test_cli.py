@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DESIGN_SUMMARIES, build_parser, main
+from repro.core import DESIGNS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_oltp_defaults(self):
+        args = build_parser().parse_args(["oltp"])
+        assert args.benchmark == "tpcc"
+        assert args.scale == 1_000
+
+    def test_tpch_sf_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tpch", "--sf", "300"])
+
+
+class TestCommands:
+    def test_designs_lists_all(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in DESIGNS:
+            assert name in out
+
+    def test_summaries_cover_registry(self):
+        assert set(DESIGN_SUMMARIES) == set(DESIGNS)
+
+    def test_iometer_prints_table(self, capsys):
+        assert main(["iometer", "--duration", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "hdd_random_read" in out
+
+    def test_oltp_runs_and_reports(self, capsys):
+        code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                     "--profile", "tiny", "--duration", "4",
+                     "--designs", "noSSD,DW"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tpmC" in out
+        assert "DW" in out
+
+    def test_oltp_rejects_unknown_design(self, capsys):
+        assert main(["oltp", "--designs", "WARP"]) == 2
+
+    def test_tpch_runs(self, capsys):
+        code = main(["tpch", "--sf", "30", "--profile", "tiny",
+                     "--designs", "noSSD"])
+        assert code == 0
+        assert "QphH" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Integration tests: whole-system runs reproducing the paper's
+qualitative results at test-friendly scale."""
+
+import pytest
+
+from repro.harness.experiments import (
+    SCALE_PROFILES,
+    run_oltp_experiment,
+    run_tpch_experiment,
+    speedup_over_nossd,
+)
+
+PROFILE = SCALE_PROFILES["tiny"]
+
+
+def tpcc_throughputs(duration=12.0, designs=("noSSD", "DW", "LC", "TAC")):
+    return {
+        design: run_oltp_experiment(
+            "tpcc", 400, design, duration=duration, profile=PROFILE,
+            nworkers=8).steady_state_throughput()
+        for design in designs
+    }
+
+
+class TestTpccOrdering:
+    """Figure 5(a–c)'s qualitative claims at miniature scale."""
+
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        return speedup_over_nossd(tpcc_throughputs())
+
+    def test_every_ssd_design_beats_nossd(self, speedups):
+        for design in ("DW", "LC", "TAC"):
+            assert speedups[design] > 1.0, speedups
+
+    def test_lc_wins_update_intensive(self, speedups):
+        assert speedups["LC"] > speedups["DW"], speedups
+        assert speedups["LC"] > speedups["TAC"], speedups
+
+    def test_dw_at_least_matches_tac(self, speedups):
+        """§4.2: DW performed better than TAC for all TPC-C databases."""
+        assert speedups["DW"] >= speedups["TAC"] * 0.85, speedups
+
+
+class TestTpceShape:
+    def test_designs_are_similar_on_read_intensive(self):
+        results = {
+            design: run_oltp_experiment(
+                "tpce", 4, design, duration=12.0, profile=PROFILE,
+                nworkers=8).steady_state_throughput()
+            for design in ("noSSD", "DW", "LC")
+        }
+        speedups = speedup_over_nossd(results)
+        assert speedups["DW"] > 1.2
+        assert speedups["LC"] > 1.2
+        # §4.3: "the advantage of LC over DW is gone".
+        assert speedups["LC"] < speedups["DW"] * 2.0
+
+
+class TestTpchShape:
+    def test_ssd_helps_and_designs_tie(self):
+        results = {
+            design: run_tpch_experiment(30, design, profile=PROFILE)
+            for design in ("noSSD", "DW", "LC")
+        }
+        assert results["DW"].qphh > results["noSSD"].qphh
+        assert results["LC"].qphh > results["noSSD"].qphh
+        ratio = results["LC"].qphh / results["DW"].qphh
+        assert 0.5 < ratio < 2.0  # §4.4: similar performance
+
+
+class TestTacWaste:
+    def test_tac_wastes_frames_our_designs_do_not(self):
+        tac = run_oltp_experiment("tpcc", 400, "TAC", duration=10.0,
+                                  profile=PROFILE, nworkers=8)
+        dw = run_oltp_experiment("tpcc", 400, "DW", duration=10.0,
+                                 profile=PROFILE, nworkers=8)
+        assert tac.system.ssd_manager.table.invalid_count > 0
+        assert dw.system.ssd_manager.table.invalid_count == 0
+
+
+class TestRampUp:
+    def test_ssd_fills_over_time(self):
+        result = run_oltp_experiment("tpce", 4, "DW", duration=15.0,
+                                     profile=PROFILE, nworkers=8)
+        samples = result.sampler.samples
+        assert samples[0].ssd_used < samples[-1].ssd_used
+
+    def test_lc_dirty_fraction_grows_with_lambda_room(self):
+        result = run_oltp_experiment("tpcc", 400, "LC", duration=12.0,
+                                     profile=PROFILE, nworkers=8,
+                                     dirty_threshold=0.9)
+        assert result.system.ssd_manager.dirty_frames > 0

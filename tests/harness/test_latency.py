@@ -1,0 +1,64 @@
+"""Tests for transaction-latency tracking."""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import SCALE_PROFILES, run_oltp_experiment
+from repro.harness.metrics import LatencyTracker
+
+
+class TestLatencyTracker:
+    def test_percentiles_of_known_distribution(self):
+        tracker = LatencyTracker()
+        for value in range(1, 101):
+            tracker.record("t", float(value))
+        assert tracker.percentile(0) == 1.0
+        assert tracker.percentile(100) == 100.0
+        assert tracker.percentile(50) == pytest.approx(50.5)
+        assert tracker.mean() == pytest.approx(50.5)
+
+    def test_per_type_filtering(self):
+        tracker = LatencyTracker()
+        tracker.record("fast", 1.0)
+        tracker.record("slow", 100.0)
+        assert tracker.percentile(50, "fast") == 1.0
+        assert tracker.percentile(50, "slow") == 100.0
+        assert tracker.count() == 2
+        assert tracker.count("fast") == 1
+
+    def test_empty_is_nan(self):
+        tracker = LatencyTracker()
+        assert math.isnan(tracker.percentile(50))
+        assert math.isnan(tracker.mean())
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().percentile(150)
+
+    def test_summary_keys(self):
+        tracker = LatencyTracker()
+        tracker.record("t", 2.0)
+        summary = tracker.summary()
+        assert set(summary) == {"mean", "p50", "p95", "p99"}
+
+
+class TestRunnerIntegration:
+    def test_runner_records_latencies(self):
+        result = run_oltp_experiment(
+            "tpcc", 100, "noSSD", duration=4.0,
+            profile=SCALE_PROFILES["tiny"], nworkers=4)
+        assert result.latencies.count() == sum(result.txn_counts.values())
+        assert result.latencies.percentile(50) > 0
+
+    def test_ssd_design_cuts_latency(self):
+        """The designs' throughput gains are latency gains in disguise:
+        LC's p50 transaction latency must undercut noSSD's."""
+        latencies = {}
+        for design in ("noSSD", "LC"):
+            result = run_oltp_experiment(
+                "tpcc", 400, design, duration=10.0,
+                profile=SCALE_PROFILES["tiny"], nworkers=8)
+            latencies[design] = result.latencies.percentile(
+                50, "new_order")
+        assert latencies["LC"] < latencies["noSSD"]

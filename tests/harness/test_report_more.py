@@ -1,0 +1,48 @@
+"""Additional rendering tests for the report module."""
+
+from repro.harness.report import format_series, format_speedups, format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table("Empty", ["a", "b"], [])
+        assert "Empty" in text
+        assert "a" in text and "b" in text
+
+    def test_numbers_right_aligned(self):
+        text = format_table("T", ["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("1000")
+        assert lines[-2].endswith("   1")
+
+    def test_mixed_types_stringified(self):
+        text = format_table("T", ["x", "y"], [[1.5, None], ["s", 2]])
+        assert "None" in text and "1.5" in text
+
+
+class TestFormatSeries:
+    def test_peak_gets_full_bar(self):
+        text = format_series("S", [(0.0, 10.0), (1.0, 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[-2].count("#") == 10
+        assert lines[-1].count("#") == 5
+
+    def test_zero_series_no_crash(self):
+        text = format_series("S", [(0.0, 0.0), (1.0, 0.0)])
+        assert "0.0" in text
+
+    def test_labels_in_header(self):
+        text = format_series("S", [(0.0, 1.0)], time_label="hour",
+                             value_label="tpmC")
+        assert "hour" in text and "tpmC" in text
+
+
+class TestFormatSpeedups:
+    def test_custom_design_list(self):
+        text = format_speedups("X", {"cfg": {"ROT": 2.0, "EXCL": 3.0}},
+                               designs=("ROT", "EXCL"))
+        assert "2.00x" in text and "3.00x" in text
+
+    def test_missing_design_rendered_as_zero(self):
+        text = format_speedups("X", {"cfg": {}}, designs=("DW",))
+        assert "0.00x" in text

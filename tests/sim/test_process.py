@@ -1,0 +1,141 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Interrupt
+from repro.sim.events import SimulationError
+
+
+class TestLifecycle:
+    def test_return_value_becomes_event_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return 99
+
+        assert env.run(env.process(proc())) == 99
+
+    def test_is_alive_until_finished(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_waiting_on_process(self, env):
+        def inner():
+            yield env.timeout(2)
+            return "inner-value"
+
+        def outer():
+            value = yield env.process(inner())
+            return value + "!"
+
+        assert env.run(env.process(outer())) == "inner-value!"
+
+    def test_yield_from_subgenerator_without_events(self, env):
+        def sub():
+            return 5
+            yield  # pragma: no cover
+
+        def proc():
+            value = yield from sub()
+            yield env.timeout(1)
+            return value
+
+        assert env.run(env.process(proc())) == 5
+
+    def test_immediate_return_process(self, env):
+        def proc():
+            return "now"
+            yield  # pragma: no cover
+
+        assert env.run(env.process(proc())) == "now"
+
+
+class TestExceptions:
+    def test_exception_propagates_to_waiter(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise KeyError("gone")
+
+        def waiter():
+            try:
+                yield env.process(bad())
+            except KeyError:
+                return "caught"
+            return "missed"
+
+        assert env.run(env.process(waiter())) == "caught"
+
+    def test_failed_event_raises_inside_process(self, env):
+        trigger = env.event()
+
+        def proc():
+            try:
+                yield trigger
+            except RuntimeError:
+                return "handled"
+
+        process = env.process(proc())
+        trigger.fail(RuntimeError("x"))
+        assert env.run(process) == "handled"
+
+    def test_yielding_non_event_raises_in_process(self, env):
+        def proc():
+            try:
+                yield "not an event"
+            except SimulationError:
+                return "rejected"
+
+        assert env.run(env.process(proc())) == "rejected"
+
+
+class TestInterrupt:
+    def test_interrupt_raises_with_cause(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        process = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1)
+            process.interrupt("wake up")
+
+        env.process(interrupter())
+        assert env.run(process) == "wake up"
+        assert env.now == 1
+
+    def test_interrupting_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_can_rewait(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                yield env.timeout(2)
+                return env.now
+
+        process = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1)
+            process.interrupt()
+
+        env.process(interrupter())
+        assert env.run(process) == 3

@@ -1,0 +1,96 @@
+"""Unit and property tests for the access distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import NURand, ZipfGenerator, scramble
+
+
+class TestNURand:
+    def test_samples_stay_in_range(self):
+        nurand = NURand(a=255, x=0, y=999)
+        rng = random.Random(1)
+        for _ in range(2_000):
+            assert 0 <= nurand.sample(rng) <= 999
+
+    def test_for_range_builder(self):
+        nurand = NURand.for_range(10_000)
+        rng = random.Random(2)
+        assert all(0 <= nurand.sample(rng) < 10_000 for _ in range(500))
+
+    def test_skew_concentrates_mass(self):
+        nurand = NURand.for_range(10_000)
+        rng = random.Random(3)
+        counts = Counter(nurand.sample(rng) for _ in range(20_000))
+        top_fifth = sum(count for __, count in counts.most_common(
+            max(1, len(counts) // 5)))
+        assert top_fifth / 20_000 > 0.5  # heavily skewed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NURand(a=0, x=0, y=10)
+        with pytest.raises(ValueError):
+            NURand(a=10, x=10, y=5)
+        with pytest.raises(ValueError):
+            NURand.for_range(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=100_000),
+           seed=st.integers(min_value=0, max_value=1_000))
+    def test_bounds_property(self, n, seed):
+        nurand = NURand.for_range(n)
+        rng = random.Random(seed)
+        for _ in range(20):
+            assert 0 <= nurand.sample(rng) < n
+
+
+class TestZipf:
+    def test_samples_in_range(self):
+        zipf = ZipfGenerator(500, theta=0.8)
+        rng = random.Random(4)
+        assert all(0 <= zipf.sample(rng) < 500 for _ in range(1_000))
+
+    def test_paper_skew_75_20(self):
+        """The paper's TPC-C skew: ~75% of accesses to ~20% of pages."""
+        zipf = ZipfGenerator(1_000, theta=0.85)
+        rng = random.Random(5)
+        counts = Counter(zipf.sample(rng) for _ in range(50_000))
+        hot = sum(counts.get(rank, 0) for rank in range(200))  # top 20%
+        assert 0.6 < hot / 50_000 < 0.95
+
+    def test_lower_theta_is_flatter(self):
+        rng1, rng2 = random.Random(6), random.Random(6)
+        sharp = ZipfGenerator(1_000, theta=0.95)
+        flat = ZipfGenerator(1_000, theta=0.3)
+        sharp_hot = sum(1 for _ in range(10_000)
+                        if sharp.sample(rng1) < 100)
+        flat_hot = sum(1 for _ in range(10_000) if flat.sample(rng2) < 100)
+        assert sharp_hot > flat_hot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=0)
+
+
+class TestScramble:
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=5_000))
+    def test_is_a_bijection(self, n):
+        mapped = {scramble(value, n) for value in range(n)}
+        assert len(mapped) == n
+        assert all(0 <= m < n for m in mapped)
+
+    def test_separates_adjacent_ranks(self):
+        n = 1_000
+        positions = [scramble(rank, n) for rank in range(10)]
+        gaps = [abs(a - b) for a, b in zip(positions, positions[1:])]
+        assert min(gaps) > 10  # hot ranks are not physically adjacent
+
+    def test_degenerate_sizes(self):
+        assert scramble(5, 1) == 0
