@@ -12,6 +12,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -22,7 +23,8 @@ from repro.harness.experiments import (
     run_tpch_experiment,
     speedup_over_nossd,
 )
-from repro.harness.report import format_table
+from repro.harness.report import format_metrics, format_table
+from repro.telemetry import Telemetry
 
 DESIGN_SUMMARIES = {
     "noSSD": "unmodified engine (baseline)",
@@ -41,6 +43,52 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="scale profile (default: small)")
     parser.add_argument("--designs", default="noSSD,DW,LC,TAC",
                         help="comma-separated designs (see `designs`)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event file (open in "
+                             "chrome://tracing or Perfetto); with several "
+                             "designs, one file per design")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the full metrics registry after each run")
+
+
+def _make_telemetry(args) -> Optional[Telemetry]:
+    """A fresh telemetry sink when --trace/--metrics asked for one."""
+    return Telemetry() if (args.trace or args.metrics) else None
+
+
+def _validate_trace(args) -> Optional[str]:
+    """An error message when the --trace target can't be written —
+    checked before the run so a typo fails in milliseconds, not after
+    the whole simulation."""
+    if args.trace:
+        directory = os.path.dirname(args.trace) or "."
+        if not os.path.isdir(directory):
+            return f"--trace: directory does not exist: {directory}"
+    return None
+
+
+def _trace_path(template: str, design: str, multiple: bool) -> str:
+    """The per-design trace path (suffix the design when several run)."""
+    if not multiple:
+        return template
+    stem, ext = os.path.splitext(template)
+    return f"{stem}-{design}{ext or '.json'}"
+
+
+def _emit_telemetry(args, design: str, telemetry: Optional[Telemetry],
+                    multiple: bool) -> None:
+    """Write the trace file and/or print the metrics table for one run."""
+    if telemetry is None:
+        return
+    if args.trace:
+        path = _trace_path(args.trace, design, multiple)
+        telemetry.tracer.write_chrome(path)
+        dropped = telemetry.tracer.dropped
+        note = f" ({dropped} events dropped past cap)" if dropped else ""
+        print(f"wrote {len(telemetry.tracer.events)} trace events "
+              f"to {path}{note}", file=sys.stderr)
+    if args.metrics:
+        print(format_metrics(telemetry.registry, title=f"Metrics — {design}"))
 
 
 def cmd_iometer(args) -> int:
@@ -72,15 +120,22 @@ def cmd_oltp(args) -> int:
         print(f"unknown designs: {unknown}; try `python -m repro designs`",
               file=sys.stderr)
         return 2
+    error = _validate_trace(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     profile = SCALE_PROFILES[args.profile]
     results = {}
     for design in designs:
+        telemetry = _make_telemetry(args)
         results[design] = run_oltp_experiment(
             args.benchmark, args.scale, design, duration=args.duration,
             profile=profile, nworkers=args.workers,
             dirty_threshold=args.dirty_threshold,
-            checkpoint_interval=args.checkpoint_interval)
+            checkpoint_interval=args.checkpoint_interval,
+            telemetry=telemetry)
         print(f"ran {design}", file=sys.stderr)
+        _emit_telemetry(args, design, telemetry, len(designs) > 1)
     throughputs = {d: r.steady_state_throughput()
                    for d, r in results.items()}
     speedups = speedup_over_nossd(throughputs)
@@ -108,13 +163,20 @@ def cmd_oltp(args) -> int:
 def cmd_tpch(args) -> int:
     """Run the TPC-H power + throughput tests across designs."""
     designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    error = _validate_trace(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
     profile = SCALE_PROFILES[args.profile]
     rows = []
     for design in designs:
-        result = run_tpch_experiment(args.sf, design, profile=profile)
+        telemetry = _make_telemetry(args)
+        result = run_tpch_experiment(args.sf, design, profile=profile,
+                                     telemetry=telemetry)
         rows.append([design, f"{result.power:,.0f}",
                      f"{result.throughput:,.0f}", f"{result.qphh:,.0f}"])
         print(f"ran {design}", file=sys.stderr)
+        _emit_telemetry(args, design, telemetry, len(designs) > 1)
     print(format_table(f"TPC-H @{args.sf} SF (profile={args.profile})",
                        ["design", "QppH", "QthH", "QphH"], rows))
     return 0

@@ -36,6 +36,30 @@ class LazyCleaningManager(SsdManagerBase):
         super().__init__(*args, **kwargs)
         self._cleaner_started = False
         self._cleaner_wakeup = None
+        self._above_lambda = False
+        registry = self.telemetry.registry
+        self._tm_cleaner_rounds = registry.counter(
+            "lc_cleaner_rounds_total", "Group-clean batches the LC cleaner ran")
+        self._tm_cleaner_pages = registry.counter(
+            "lc_cleaner_pages_total", "Dirty SSD pages the LC cleaner wrote back")
+        self._tm_lambda_crossings = registry.counter(
+            "lc_lambda_crossings_total",
+            "Upward crossings of the dirty-fraction threshold (lambda)")
+
+    def _note_lambda(self) -> None:
+        """Record crossings of λ (in either direction) as trace instants."""
+        above = self.table.dirty_count > self.config.dirty_limit_frames
+        if above == self._above_lambda:
+            return
+        self._above_lambda = above
+        if above:
+            self.stats.lambda_crossings += 1
+            self._tm_lambda_crossings.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "lambda_crossed" if above else "lambda_recovered",
+                "cleaner", "cleaner",
+                {"dirty_fraction": self.dirty_fraction})
 
     # ------------------------------------------------------------------
     # Eviction hook
@@ -58,6 +82,7 @@ class LazyCleaningManager(SsdManagerBase):
                 self._maybe_wake_cleaner()
                 return
         self.stats.fallback_disk_writes += 1
+        self._tm_fallback.inc()
         yield from self.disk.write(frame.page_id, frame.version,
                                    sequential=False)
 
@@ -76,6 +101,7 @@ class LazyCleaningManager(SsdManagerBase):
             self.env.process(self._cleaner_loop())
 
     def _maybe_wake_cleaner(self) -> None:
+        self._note_lambda()
         if (self._cleaner_wakeup is not None
                 and not self._cleaner_wakeup.triggered
                 and self.table.dirty_count > self.config.dirty_limit_frames):
@@ -114,6 +140,7 @@ class LazyCleaningManager(SsdManagerBase):
         group = self._gather_group()
         if not group:
             return 0
+        round_started = self.env.now
         # Capture addresses/versions now: a page may be invalidated (and
         # its record even reused for a different page) while the cleaning
         # I/O is in flight.
@@ -142,6 +169,13 @@ class LazyCleaningManager(SsdManagerBase):
                     and record.version == version):
                 self.table.set_dirty(record, False)
                 self.clean_heap.push(record)
+        self._tm_cleaner_rounds.inc()
+        self._tm_cleaner_pages.inc(len(group))
+        self._tracer.complete("clean_batch", round_started, self.env.now,
+                              "cleaner", "cleaner",
+                              {"pages": len(group), "first_page": first}
+                              if self._tracer.enabled else None)
+        self._note_lambda()
         return len(group)
 
     def _gather_group(self) -> List[SsdRecord]:

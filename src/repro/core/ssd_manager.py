@@ -31,6 +31,7 @@ from repro.engine.disk_manager import DiskManager
 from repro.engine.page import Frame
 from repro.engine.wal import WriteAheadLog
 from repro.storage.ssd import Ssd
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -64,6 +65,7 @@ class SsdStats:
     cleaner_ios: int = 0        # disk I/Os the cleaner issued
     checkpoint_ssd_flushes: int = 0  # dirty SSD pages flushed at checkpoints
     missed_dirty_writes: int = 0  # TAC: page dirtied before its SSD write
+    lambda_crossings: int = 0   # LC: upward crossings of the λ threshold
 
 
 class SsdManagerBase:
@@ -74,7 +76,8 @@ class SsdManagerBase:
 
     def __init__(self, env: Environment, device: Ssd, disk: DiskManager,
                  wal: WriteAheadLog, config: Optional[SsdDesignConfig] = None,
-                 admission: Optional[AdmissionPolicy] = None):
+                 admission: Optional[AdmissionPolicy] = None,
+                 telemetry=None):
         self.env = env
         self.device = device
         self.disk = disk
@@ -92,6 +95,30 @@ class SsdManagerBase:
         self.dirty_heap = LazyMinHeap(
             key=lambda r: r.lru2_key(),
             member=lambda r: r.valid and r.dirty)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._tm_reads = registry.counter(
+            "ssd_mgr_reads_total", "Pages served from the SSD buffer pool")
+        self._tm_writes = registry.counter(
+            "ssd_mgr_writes_total", "Pages admitted (written) to the SSD")
+        self._tm_invalidations = registry.counter(
+            "ssd_mgr_invalidations_total", "SSD copies invalidated on dirty")
+        self._tm_declined = registry.counter(
+            "ssd_mgr_declined_throttle_total",
+            "Optional SSD I/Os skipped by throttle control (mu)")
+        self._tm_evictions = registry.counter(
+            "ssd_mgr_evictions_total", "SSD frames reclaimed by replacement")
+        self._tm_fallback = registry.counter(
+            "ssd_mgr_fallback_disk_writes_total",
+            "Dirty evictions sent to disk instead of the SSD")
+        registry.gauge("ssd_used_frames", "Occupied SSD frames"
+                       ).set_function(lambda: self.used_frames)
+        registry.gauge("ssd_dirty_frames", "Dirty (newer-than-disk) SSD frames"
+                       ).set_function(lambda: self.dirty_frames)
+        registry.gauge("ssd_dirty_fraction",
+                       "Dirty frames / SSD capacity (LC's lambda gauge)"
+                       ).set_function(lambda: self.dirty_fraction)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -154,6 +181,7 @@ class SsdManagerBase:
         newer = record.version > self.disk.disk_version(page_id)
         if self._throttled() and not newer:
             self.stats.declined_throttle += 1
+            self._tm_declined.inc()
             return None
         return (yield from self._read_record(record))
 
@@ -167,6 +195,7 @@ class SsdManagerBase:
     def _read_record(self, record: SsdRecord):
         version = record.version
         self.stats.reads += 1
+        self._tm_reads.inc()
         record.record_access(self.env.now)
         self._reheap(record)
         yield self.device.read(record.frame_no, 1, random=True)
@@ -200,6 +229,7 @@ class SsdManagerBase:
             self._drop_record(existing)
         if self._throttled():
             self.stats.declined_throttle += 1
+            self._tm_declined.inc()
             return False
         record = self.table.take_free()
         if record is None:
@@ -210,6 +240,10 @@ class SsdManagerBase:
                            rec_lsn=rec_lsn)
         self._reheap(record)
         self.stats.writes += 1
+        self._tm_writes.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("admit", "ssd", "ssd_manager",
+                                 {"page": page_id, "dirty": dirty})
         yield self.device.write(record.frame_no, 1, random=True)
         return True
 
@@ -219,6 +253,7 @@ class SsdManagerBase:
         if victim is None:
             return None
         self.stats.evictions += 1
+        self._tm_evictions.inc()
         self.table.release(victim)
         taken = self.table.take_free()
         assert taken is not None
@@ -287,6 +322,7 @@ class SsdManagerBase:
         record = self.table.lookup(page_id)
         if record is not None and record.occupied:
             self.stats.invalidations += 1
+            self._tm_invalidations.inc()
             self._drop_record(record)
 
     # ------------------------------------------------------------------
@@ -389,9 +425,11 @@ class NoSsdManager(SsdManagerBase):
 
     def __init__(self, env: Environment, device: Ssd, disk: DiskManager,
                  wal: WriteAheadLog, config: Optional[SsdDesignConfig] = None,
-                 admission: Optional[AdmissionPolicy] = None):
+                 admission: Optional[AdmissionPolicy] = None,
+                 telemetry=None):
         config = config or SsdDesignConfig(ssd_frames=0)
-        super().__init__(env, device, disk, wal, config, admission)
+        super().__init__(env, device, disk, wal, config, admission,
+                         telemetry=telemetry)
 
     def try_read(self, page_id: int):
         return None

@@ -55,6 +55,13 @@ class TemperatureAwareManager(SsdManagerBase):
         saving_seq = (self.disk.device.service_time(probe_seq)
                       - self.device.service_time(probe_seq))
         self._saving_seq_ms = max(0.0, saving_seq * 1000.0)
+        registry = self.telemetry.registry
+        self._tm_admission_writes = registry.counter(
+            "tac_admission_writes_total",
+            "Pages written to the SSD right after a disk read")
+        self._tm_missed_dirty = registry.counter(
+            "tac_missed_dirty_writes_total",
+            "Admission writes abandoned because the page was dirtied first")
 
     # ------------------------------------------------------------------
     # Temperature bookkeeping
@@ -113,6 +120,7 @@ class TemperatureAwareManager(SsdManagerBase):
     def _write_after_read(self, frame: Frame):
         if frame.dirty or frame.io_busy is not None:
             self.stats.missed_dirty_writes += 1
+            self._tm_missed_dirty.inc()
             return
         if not self._admit(frame.page_id):
             return
@@ -121,12 +129,19 @@ class TemperatureAwareManager(SsdManagerBase):
         busy = self.env.event()
         frame.io_busy = busy
         frame.busy_reason = "admission-write"
+        started = self.env.now
         try:
-            yield from self._cache_tac(frame.page_id, frame.version)
+            cached = yield from self._cache_tac(frame.page_id, frame.version)
+            if cached:
+                self._tm_admission_writes.inc()
         finally:
             frame.io_busy = None
             frame.busy_reason = None
             busy.succeed()
+            self._tracer.complete("admission_write", started, self.env.now,
+                                  "ssd", "ssd_manager",
+                                  {"page": frame.page_id}
+                                  if self._tracer.enabled else None)
 
     def _admit(self, page_id: int) -> bool:
         """Temperature admission: always before the fill threshold, then
@@ -144,6 +159,7 @@ class TemperatureAwareManager(SsdManagerBase):
         """Process step: write one page into the SSD, TAC-style."""
         if self._throttled():
             self.stats.declined_throttle += 1
+            self._tm_declined.inc()
             return False
         existing = self.table.lookup(page_id)
         if existing is not None:
@@ -157,12 +173,17 @@ class TemperatureAwareManager(SsdManagerBase):
             if victim is None:
                 return False
             self.stats.evictions += 1
+            self._tm_evictions.inc()
             self.table.release(victim)
             record = self.table.take_free()
         self.table.install(record, page_id, version, dirty=False,
                            now=self.env.now)
         self.temp_heap.push(record)
         self.stats.writes += 1
+        self._tm_writes.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("admit", "ssd", "ssd_manager",
+                                 {"page": page_id, "dirty": False})
         yield self.device.write(record.frame_no, 1, random=True)
         return True
 
@@ -187,6 +208,7 @@ class TemperatureAwareManager(SsdManagerBase):
     def _revalidate_write(self, record, page_id: int, version: int):
         if self._throttled():
             self.stats.declined_throttle += 1
+            self._tm_declined.inc()
             return
         if (not record.occupied or record.page_id != page_id
                 or record.valid):
@@ -196,6 +218,7 @@ class TemperatureAwareManager(SsdManagerBase):
         self.table.revalidate(record, version, self.env.now)
         self.temp_heap.push(record)
         self.stats.writes += 1
+        self._tm_writes.inc()
         yield self.device.write(record.frame_no, 1, random=True)
 
     # ------------------------------------------------------------------
@@ -207,6 +230,7 @@ class TemperatureAwareManager(SsdManagerBase):
         record = self.table.lookup(page_id)
         if record is not None and record.valid:
             self.stats.invalidations += 1
+            self._tm_invalidations.inc()
             self.table.invalidate_logical(record)
             # The record stays in the temperature heap: TAC may replace a
             # valid page while invalid ones linger — the §4.2 waste.

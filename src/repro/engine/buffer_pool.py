@@ -27,6 +27,7 @@ from repro.engine.disk_manager import DiskManager
 from repro.engine.page import Frame, PageId
 from repro.engine.readahead import ReadAhead
 from repro.engine.wal import WriteAheadLog
+from repro.telemetry import NULL_TELEMETRY
 
 
 class BufferPoolStats:
@@ -69,10 +70,35 @@ class BufferPool:
     def __init__(self, env: Environment, capacity: int, disk: DiskManager,
                  wal: WriteAheadLog, ssd_manager,
                  readahead: Optional[ReadAhead] = None,
-                 expand_reads: bool = False):
+                 expand_reads: bool = False, telemetry=None):
         if capacity < 2:
             raise ValueError(f"capacity must be >= 2, got {capacity}")
         self.env = env
+        self.telemetry = telemetry or NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        requests = registry.counter(
+            "bp_requests_total", "Page requests by how they were served",
+            labelnames=("result",))
+        self._tm_hit = requests.labels(result="hit")
+        self._tm_ssd_hit = requests.labels(result="ssd_hit")
+        self._tm_disk_read = requests.labels(result="disk_read")
+        evictions = registry.counter(
+            "bp_evictions_total", "Frames evicted by the lazy writer",
+            labelnames=("kind",))
+        self._tm_evict_clean = evictions.labels(kind="clean")
+        self._tm_evict_dirty = evictions.labels(kind="dirty")
+        self._tm_latch_waits = registry.counter(
+            "bp_latch_waits_total", "Fetches that waited on a frame latch",
+            labelnames=("reason",))
+        self._tm_latch_wait_seconds = registry.histogram(
+            "bp_latch_wait_seconds", "Time spent waiting on frame latches")
+        self._tm_prefetched = registry.counter(
+            "bp_prefetched_pages_total", "Pages brought in by read-ahead")
+        registry.gauge("bp_dirty_frames", "Dirty frames in the buffer pool"
+                       ).set_function(lambda: self.dirty_count)
+        registry.gauge("bp_used_frames", "Occupied + reserved frame slots"
+                       ).set_function(lambda: self.used)
         self.capacity = capacity
         self.disk = disk
         self.wal = wal
@@ -147,15 +173,20 @@ class BufferPool:
                     started = self.env.now
                     reason = frame.busy_reason or "unknown"
                     self.stats.latch_waits += 1
+                    self._tm_latch_waits.labels(reason=reason).inc()
                     yield frame.io_busy
                     waited = self.env.now - started
                     self.stats.latch_wait_time += waited
                     by_reason = self.stats.latch_wait_by_reason
                     by_reason[reason] = by_reason.get(reason, 0.0) + waited
+                    self._tm_latch_wait_seconds.observe(waited)
+                    self._tracer.complete("latch_wait", started, self.env.now,
+                                          "bp", "buffer_pool")
                     continue
                 frame.pin_count += 1
                 self._touch(frame)
                 self.stats.hits += 1
+                self._tm_hit.inc()
                 return frame
 
             pending = self._inflight.get(page_id)
@@ -186,6 +217,7 @@ class BufferPool:
         version = yield from self.ssd.try_read(page_id)
         if version is not None:
             self.stats.ssd_hits += 1
+            self._tm_ssd_hit.inc()
             frame = Frame(page_id, version, sequential=False)
             if (version > self.disk.disk_version(page_id)
                     and not self.ssd.contains_valid(page_id)):
@@ -200,6 +232,7 @@ class BufferPool:
             return frame
 
         self.stats.disk_reads += 1
+        self._tm_disk_read.inc()
         if self.expand_reads and not self._warmed:
             frame = yield from self._expanded_read(page_id)
         else:
@@ -286,17 +319,29 @@ class BufferPool:
             self.frames[pid] = frame
             self._touch(frame)
             self.stats.prefetched_pages += 1
+            self._tm_prefetched.inc()
             self.ssd.on_read_from_disk(frame)
 
     def _ssd_single(self, page_id: PageId):
-        version = yield from self.ssd.read_for_correctness(page_id)
+        version = yield from self.ssd.try_read(page_id)
+        from_ssd = version is not None
+        if not from_ssd:
+            # The SSD copy vanished between planning and this read (a
+            # concurrent update invalidated it, or replacement evicted
+            # it) or the throttle declined an optional read.  Either
+            # way the disk holds the newest durable copy: fall back.
+            versions = yield from self.disk.read(page_id, 1)
+            version = versions[0]
         if page_id in self.frames:
             return
         frame = Frame(page_id, version, sequential=True)
         self.frames[page_id] = frame
         self._touch(frame)
         self.stats.prefetched_pages += 1
-        self.stats.ssd_hits += 1
+        self._tm_prefetched.inc()
+        if from_ssd:
+            self.stats.ssd_hits += 1
+            self._tm_ssd_hit.inc()
 
     # ------------------------------------------------------------------
     # Update path
@@ -455,16 +500,28 @@ class BufferPool:
         busy = victim.io_busy or self.env.event()
         victim.io_busy = busy
         victim.busy_reason = "eviction"
+        tracer = self._tracer
+        started = self.env.now
         try:
             if victim.dirty:
                 self.stats.evictions_dirty += 1
+                self._tm_evict_dirty.inc()
                 # WAL rule: log records for the page must be durable before
                 # the page goes to the SSD or disk (§2.4).
                 yield from self.wal.force(victim.page_lsn)
                 yield from self.ssd.on_evict_dirty(victim)
+                tracer.complete("evict_dirty", started, self.env.now,
+                                "bp", "buffer_pool",
+                                {"page": victim.page_id}
+                                if tracer.enabled else None)
             else:
                 self.stats.evictions_clean += 1
+                self._tm_evict_clean.inc()
                 yield from self.ssd.on_evict_clean(victim)
+                tracer.complete("evict_clean", started, self.env.now,
+                                "bp", "buffer_pool",
+                                {"page": victim.page_id}
+                                if tracer.enabled else None)
         finally:
             if self.frames.get(victim.page_id) is victim:
                 del self.frames[victim.page_id]

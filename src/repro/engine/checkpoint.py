@@ -23,6 +23,7 @@ from repro.sim import Environment
 from repro.engine.buffer_pool import BufferPool
 from repro.engine.page import Frame
 from repro.engine.wal import WriteAheadLog
+from repro.telemetry import NULL_TELEMETRY
 
 #: Concurrent page writes per flush wave.
 FLUSH_BATCH = 32
@@ -32,7 +33,7 @@ class Checkpointer:
     """Periodic sharp checkpoints over a buffer pool and SSD manager."""
 
     def __init__(self, env: Environment, bp: BufferPool, wal: WriteAheadLog,
-                 interval: Optional[float] = None):
+                 interval: Optional[float] = None, telemetry=None):
         self.env = env
         self.bp = bp
         self.wal = wal
@@ -44,6 +45,13 @@ class Checkpointer:
         self.checkpoints_taken = 0
         self.durations: List[float] = []
         self._running = False
+        self.telemetry = telemetry or NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._tm_checkpoints = registry.counter(
+            "checkpoints_total", "Checkpoints completed")
+        self._tm_duration = registry.histogram(
+            "checkpoint_duration_seconds", "Wall (virtual) checkpoint time")
 
     def start(self) -> None:
         """Start the periodic checkpoint process (if an interval is set)."""
@@ -62,8 +70,10 @@ class Checkpointer:
         self.checkpoints_started += 1
         begin_lsn = self.wal.tail_lsn
         self.bp.checkpoint_active = True
+        dirty_count = 0
         try:
             dirty = self.bp.dirty_frames()
+            dirty_count = len(dirty)
             if dirty:
                 newest = max(frame.page_lsn for frame in dirty)
                 yield from self.wal.force(newest)
@@ -83,6 +93,12 @@ class Checkpointer:
         self.wal.truncate(begin_lsn)
         self.checkpoints_taken += 1
         self.durations.append(self.env.now - started)
+        self._tm_checkpoints.inc()
+        self._tm_duration.observe(self.env.now - started)
+        self._tracer.complete("checkpoint", started, self.env.now,
+                              "checkpoint", "checkpoint",
+                              {"dirty_pages": dirty_count}
+                              if self._tracer.enabled else None)
 
     def _flush_one(self, frame: Frame):
         """Flush one dirty frame via the design's checkpoint-write hook."""
@@ -126,3 +142,9 @@ class FuzzyCheckpointer(Checkpointer):
         self.wal.truncate(redo_from - 1)
         self.checkpoints_taken += 1
         self.durations.append(self.env.now - started)
+        self._tm_checkpoints.inc()
+        self._tm_duration.observe(self.env.now - started)
+        self._tracer.complete("fuzzy_checkpoint", started, self.env.now,
+                              "checkpoint", "checkpoint",
+                              {"redo_from": redo_from}
+                              if self._tracer.enabled else None)

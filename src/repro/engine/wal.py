@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.sim import Environment, Event
 from repro.storage.hdd import HddArray
 from repro.storage.request import IoKind, IORequest
+from repro.telemetry import NULL_TELEMETRY
 
 #: Redo records per 8 KB log page (88-byte records, roughly).
 RECORDS_PER_LOG_PAGE = 90
@@ -38,7 +39,8 @@ class LogRecord:
 class WriteAheadLog:
     """An append-only redo log on a dedicated log device."""
 
-    def __init__(self, env: Environment, log_device: Optional[HddArray] = None):
+    def __init__(self, env: Environment, log_device: Optional[HddArray] = None,
+                 telemetry=None):
         self.env = env
         self.device = log_device or HddArray(env, ndisks=1, name="log-disk")
         self.records: List[LogRecord] = []
@@ -48,6 +50,17 @@ class WriteAheadLog:
         self._write_head = 0  # log-device page cursor
         self._flusher_running = False
         self._waiters: List[tuple] = []  # (lsn, Event)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self.device.attach_telemetry(self.telemetry)
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._tm_records = registry.counter(
+            "wal_records_total", "Redo records appended to the log tail")
+        self._tm_flushes = registry.counter(
+            "wal_flushes_total", "Group-commit flushes of the log tail")
+        self._tm_pages_flushed = registry.counter(
+            "wal_pages_flushed_total", "Log pages written to the log device")
 
     @property
     def tail_lsn(self) -> int:
@@ -60,6 +73,7 @@ class WriteAheadLog:
         lsn = self._next_lsn
         self._next_lsn += 1
         self.records.append(LogRecord(lsn, page_id, version, txn_id))
+        self._tm_records.inc()
         return lsn
 
     def records_since(self, lsn: int) -> List[LogRecord]:
@@ -95,7 +109,14 @@ class WriteAheadLog:
             request = IORequest(IoKind.SEQUENTIAL_WRITE, self._write_head,
                                 npages)
             self._write_head += npages
+            flush_started = self.env.now
             yield self.device.submit(request)
+            self._tm_flushes.inc()
+            self._tm_pages_flushed.inc(npages)
+            self._tracer.complete("flush", flush_started, self.env.now,
+                                  "wal", "wal",
+                                  {"pages": npages, "records": pending}
+                                  if self._tracer.enabled else None)
             self.flushed_lsn = target
             still_waiting = []
             for lsn, event in self._waiters:

@@ -88,7 +88,8 @@ def make_system(benchmark: str, workload, design: str,
                 dirty_threshold: Optional[float] = None,
                 checkpoint_interval: Optional[float] = None,
                 warm_restart: bool = False,
-                expand_reads: bool = False) -> System:
+                expand_reads: bool = False,
+                telemetry=None) -> System:
     """Assemble a system sized for ``workload`` running ``design``."""
     ssd_frames = 0 if design == "noSSD" else profile.ssd_frames
     ssd = SsdDesignConfig(
@@ -106,7 +107,7 @@ def make_system(benchmark: str, workload, design: str,
         expand_reads=expand_reads,
         slack_pages=max(256, workload.db_pages() // 20),
     )
-    return System(config)
+    return System(config, telemetry=telemetry)
 
 
 def run_oltp_experiment(benchmark: str, scale: int, design: str,
@@ -117,7 +118,8 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                         nworkers: int = 32,
                         bucket_seconds: float = 2.0,
                         expand_reads: bool = False,
-                        seed: int = 20110612) -> RunResult:
+                        seed: int = 20110612,
+                        telemetry=None) -> RunResult:
     """One OLTP run: the building block of Figures 5–9.
 
     The paper runs TPC-C with checkpointing effectively off and λ=50%,
@@ -129,7 +131,8 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
     system = make_system(benchmark, workload, design, profile,
                          dirty_threshold=dirty_threshold,
                          checkpoint_interval=checkpoint_interval,
-                         expand_reads=expand_reads)
+                         expand_reads=expand_reads,
+                         telemetry=telemetry)
     runner = WorkloadRunner(system, workload, nworkers=nworkers,
                             bucket_seconds=bucket_seconds, seed=seed)
     return runner.run(duration)
@@ -138,12 +141,13 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
 def run_tpch_experiment(sf: int, design: str,
                         profile: Optional[ScaleProfile] = None,
                         checkpoint_interval: Optional[float] = None,
-                        ) -> TpchResult:
+                        telemetry=None) -> TpchResult:
     """One full TPC-H run (power + throughput): Figure 5(g–h), Table 3."""
     profile = profile or SCALE_PROFILES["default"]
     workload = make_workload("tpch", sf, profile)
     system = make_system("tpch", workload, design, profile,
-                         checkpoint_interval=checkpoint_interval)
+                         checkpoint_interval=checkpoint_interval,
+                         telemetry=telemetry)
     workload.setup(system)
     system.start_services()
     done = system.env.process(workload.full_run(system))

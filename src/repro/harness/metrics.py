@@ -1,11 +1,21 @@
 """Run-time metric sampling (time series for Figures 6–9) and
-transaction-latency tracking."""
+transaction-latency tracking.
+
+Both are built over :mod:`repro.telemetry`: the sampled fields are
+declared once in :data:`SAMPLE_FIELDS` and published through the
+system's telemetry (registry gauges are registered by the components
+themselves; each sampler tick additionally emits Chrome counter events
+so the occupancy/queue-depth series show up in a trace viewer), and
+:class:`LatencyTracker` shares the percentile math with
+:class:`repro.telemetry.Histogram`.
+"""
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.telemetry import NULL_TELEMETRY, percentile_of
 
 
 @dataclass
@@ -21,19 +31,41 @@ class Sample:
     ssd_pending: int
 
 
+#: The sampled fields, declared once: (name, getter) pairs shared by the
+#: :class:`Sample` rows and the trace counter events.
+SAMPLE_FIELDS = (
+    ("ssd_used", lambda s: s.ssd_manager.used_frames),
+    ("ssd_dirty", lambda s: s.ssd_manager.dirty_frames),
+    ("ssd_dirty_fraction", lambda s: s.ssd_manager.dirty_fraction),
+    ("bp_dirty", lambda s: s.bp.dirty_count),
+    ("disk_pending", lambda s: s.data_device.pending),
+    ("ssd_pending", lambda s: s.ssd_device.pending),
+)
+
+
 class Sampler:
     """Samples SSD/buffer-pool occupancy every ``interval`` virtual seconds.
 
     Feeds the analyses behind Figure 6 (when does LC cross λ?), Figure 7
     (dirty-fraction trajectories per λ), and the ramp-up measurements
     (when does the SSD fill?).
+
+    ``max_samples`` bounds memory on long simulations; :meth:`stop` ends
+    the sampling process (it would otherwise run for the lifetime of the
+    environment).  When the system carries an enabled telemetry sink,
+    every tick also emits Chrome counter events on the ``sampler`` track.
     """
 
-    def __init__(self, system, interval: float = 1.0):
+    def __init__(self, system, interval: float = 1.0,
+                 max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.system = system
         self.interval = interval
+        self.max_samples = max_samples
         self.samples: List[Sample] = []
         self._started = False
+        self._stopped = False
 
     def start(self) -> None:
         """Start the periodic sampling process (idempotent)."""
@@ -41,18 +73,37 @@ class Sampler:
             self._started = True
             self.system.env.process(self._loop())
 
+    def stop(self) -> None:
+        """Stop sampling; takes effect at the next tick."""
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling process is (still) collecting."""
+        return self._started and not self._stopped and (
+            self.max_samples is None or len(self.samples) < self.max_samples)
+
     def _loop(self):
-        while True:
-            self.samples.append(Sample(
-                time=self.system.env.now,
-                ssd_used=self.system.ssd_manager.used_frames,
-                ssd_dirty=self.system.ssd_manager.dirty_frames,
-                ssd_dirty_fraction=self.system.ssd_manager.dirty_fraction,
-                bp_dirty=self.system.bp.dirty_count,
-                disk_pending=self.system.data_device.pending,
-                ssd_pending=self.system.ssd_device.pending,
-            ))
-            yield self.system.env.timeout(self.interval)
+        system = self.system
+        tracer = getattr(system, "telemetry", NULL_TELEMETRY).tracer
+        while not self._stopped:
+            if (self.max_samples is not None
+                    and len(self.samples) >= self.max_samples):
+                break
+            values = {name: getter(system) for name, getter in SAMPLE_FIELDS}
+            self.samples.append(Sample(time=system.env.now, **values))
+            if tracer.enabled:
+                tracer.counter("ssd_frames",
+                               {"used": values["ssd_used"],
+                                "dirty": values["ssd_dirty"]},
+                               track="sampler")
+                tracer.counter("pending_ios",
+                               {"disk": values["disk_pending"],
+                                "ssd": values["ssd_pending"]},
+                               track="sampler")
+                tracer.counter("bp_dirty", {"frames": values["bp_dirty"]},
+                               track="sampler")
+            yield system.env.timeout(self.interval)
 
     def fill_time(self, threshold_frames: int) -> float:
         """First sample time at which the SSD held >= ``threshold_frames``
@@ -78,14 +129,22 @@ class LatencyTracker:
     designs differ mechanically (a miss served by the SSD is ~12× faster
     than one served by the disks; TAC's post-read SSD writes show up as
     latch waits inside other transactions' latencies).
+
+    Sorted views are cached per type (plus the merged view) and
+    invalidated by :meth:`record`, so a :meth:`summary` sorts once, not
+    four times.
     """
 
     def __init__(self):
         self._samples: Dict[str, List[float]] = {}
+        #: Sorted-sample cache, keyed by txn_type (None = merged view).
+        self._sorted: Dict[Optional[str], List[float]] = {}
 
     def record(self, txn_type: str, latency: float) -> None:
         """Record one completed transaction's latency."""
         self._samples.setdefault(txn_type, []).append(latency)
+        self._sorted.pop(txn_type, None)
+        self._sorted.pop(None, None)
 
     def count(self, txn_type: str = None) -> int:
         """Number of recorded transactions (optionally one type)."""
@@ -94,27 +153,23 @@ class LatencyTracker:
         return sum(len(v) for v in self._samples.values())
 
     def _all(self, txn_type: str = None) -> List[float]:
+        cached = self._sorted.get(txn_type)
+        if cached is not None:
+            return cached
         if txn_type is not None:
-            return sorted(self._samples.get(txn_type, ()))
-        merged: List[float] = []
-        for values in self._samples.values():
-            merged.extend(values)
-        return sorted(merged)
+            values = sorted(self._samples.get(txn_type, ()))
+        else:
+            merged: List[float] = []
+            for per_type in self._samples.values():
+                merged.extend(per_type)
+            merged.sort()
+            values = merged
+        self._sorted[txn_type] = values
+        return values
 
     def percentile(self, q: float, txn_type: str = None) -> float:
         """The q-th percentile (q in [0, 100]) latency."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"q must be in [0, 100], got {q}")
-        values = self._all(txn_type)
-        if not values:
-            return float("nan")
-        rank = (len(values) - 1) * q / 100.0
-        low = math.floor(rank)
-        high = math.ceil(rank)
-        if low == high:
-            return values[low]
-        weight = rank - low
-        return values[low] * (1 - weight) + values[high] * weight
+        return percentile_of(self._all(txn_type), q)
 
     def mean(self, txn_type: str = None) -> float:
         """Mean latency (NaN when empty)."""

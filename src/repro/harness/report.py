@@ -40,6 +40,30 @@ def format_series(title: str, series: List[Tuple[float, float]],
     return "\n".join(lines)
 
 
+def format_metrics(registry, title: str = "Metrics") -> str:
+    """Render a :class:`~repro.telemetry.MetricRegistry` snapshot.
+
+    Counters and gauges become ``name{label="v"} value`` rows; histograms
+    render their count/mean/percentile summary inline.
+    """
+    rows = []
+    for row in registry.snapshot():
+        labels = ",".join(f'{k}="{v}"'
+                          for k, v in sorted(row["labels"].items()))
+        name = row["name"] + (f"{{{labels}}}" if labels else "")
+        if row["kind"] == "histogram":
+            summary = row["value"]
+            value = (f"n={summary['count']:.0f} mean={summary['mean']:.6g} "
+                     f"p50={summary['p50']:.6g} p95={summary['p95']:.6g} "
+                     f"p99={summary['p99']:.6g}")
+        else:
+            value = f"{row['value']:,.6g}"
+        rows.append([name, value])
+    if not rows:
+        return f"{title}\n(no metrics registered)"
+    return format_table(title, ["metric", "value"], rows)
+
+
 def format_speedups(title: str, speedups: Dict[str, Dict[str, float]],
                     designs: Sequence[str] = ("DW", "LC", "TAC")) -> str:
     """Render a Figure 5-style speedup table: configs × designs."""

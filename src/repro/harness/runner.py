@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.harness.metrics import LatencyTracker, Sampler
 from repro.harness.system import System
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -116,18 +117,31 @@ class WorkloadRunner:
             rng = random.Random(self.seed + worker * 1009)
             system.env.process(self._client(rng, result))
         system.run(until=system.env.now + duration)
+        # The run's measurement window is over: stop the sampler so later
+        # phases (crash simulation, restarts) don't grow it unboundedly.
+        result.sampler.stop()
         return result
 
     def _client(self, rng: random.Random, result: RunResult):
         system, workload = self.system, self.workload
         metric_txn = workload.metric_transaction
         nbuckets = len(result.buckets)
+        telemetry = getattr(system, "telemetry", NULL_TELEMETRY)
+        latency_family = telemetry.registry.histogram(
+            "txn_latency_seconds", "Transaction latency by type",
+            labelnames=("type",))
+        histograms = {}
         while not self._stopped:
             name, body = workload.transaction(rng, system)
             started = system.env.now
             yield from body
             result.txn_counts[name] = result.txn_counts.get(name, 0) + 1
-            result.latencies.record(name, system.env.now - started)
+            latency = system.env.now - started
+            result.latencies.record(name, latency)
+            histogram = histograms.get(name)
+            if histogram is None:
+                histogram = histograms[name] = latency_family.labels(type=name)
+            histogram.observe(latency)
             if name == metric_txn:
                 bucket = int((system.env.now - result.start_time)
                              / self.bucket_seconds)

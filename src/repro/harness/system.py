@@ -18,6 +18,7 @@ from repro.engine import (
     WriteAheadLog,
 )
 from repro.engine.checkpoint import FuzzyCheckpointer
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -58,22 +59,30 @@ class System:
     """One assembled DBMS instance on a fresh simulation environment."""
 
     def __init__(self, config: SystemConfig,
-                 env: Optional[Environment] = None):
+                 env: Optional[Environment] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.config = config
         self.env = env or Environment()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.telemetry.set_clock(lambda: self.env.now)
         total_pages = config.db_pages + config.slack_pages
         self.data_device = HddArray(self.env, ndisks=config.data_disks)
         self.ssd_device = Ssd(self.env)
+        if self.telemetry.enabled:
+            self.data_device.attach_telemetry(self.telemetry)
+            self.ssd_device.attach_telemetry(self.telemetry)
         self.disk = DiskManager(self.env, self.data_device, total_pages)
-        self.wal = WriteAheadLog(self.env)
+        self.wal = WriteAheadLog(self.env, telemetry=self.telemetry)
         design_cls = DESIGNS[config.design]
         self.ssd_manager = design_cls(self.env, self.ssd_device, self.disk,
-                                      self.wal, config.ssd)
+                                      self.wal, config.ssd,
+                                      telemetry=self.telemetry)
         self.bp = BufferPool(
             self.env, config.bp_pages, self.disk, self.wal, self.ssd_manager,
             readahead=ReadAhead(config.readahead_pages,
                                 config.readahead_trigger),
-            expand_reads=config.expand_reads)
+            expand_reads=config.expand_reads,
+            telemetry=self.telemetry)
         self.ssd_manager.bp = self.bp
         if isinstance(self.ssd_manager, LazyCleaningManager):
             self.ssd_manager.start_cleaner()
@@ -82,7 +91,8 @@ class System:
                             else Checkpointer)
         self.checkpointer = checkpointer_cls(
             self.env, self.bp, self.wal,
-            interval=config.checkpoint_interval)
+            interval=config.checkpoint_interval,
+            telemetry=self.telemetry)
         self.db = Database(total_pages)
 
     @property

@@ -14,6 +14,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.sim import Environment, Event, Resource
 from repro.storage.request import IoKind, IORequest, PAGE_SIZE_BYTES
+from repro.telemetry import NULL_TELEMETRY
+
+#: Label values used for ``io_*_total{kind=...}`` metrics and trace names.
+KIND_LABELS = {kind: kind.name.lower() for kind in IoKind}
 
 
 @dataclass
@@ -102,6 +106,30 @@ class Device:
         self.stats = DeviceStats()
         self.traffic: Optional[TrafficRecorder] = None
         self._outstanding = 0
+        self.attach_telemetry(NULL_TELEMETRY)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind a telemetry sink and resolve this device's instruments."""
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer
+        self._trace_track = f"device:{self.name}"
+        registry = telemetry.registry
+        pages = registry.counter(
+            "io_pages_total", "Pages transferred per device and I/O kind",
+            labelnames=("device", "kind"))
+        requests = registry.counter(
+            "io_requests_total", "Completed I/Os per device and I/O kind",
+            labelnames=("device", "kind"))
+        self._tm_pages = {
+            kind: pages.labels(device=self.name, kind=label)
+            for kind, label in KIND_LABELS.items()}
+        self._tm_requests = {
+            kind: requests.labels(device=self.name, kind=label)
+            for kind, label in KIND_LABELS.items()}
+        registry.gauge(
+            "device_pending_ios", "I/Os submitted but not yet completed",
+            labelnames=("device",)).labels(device=self.name).set_function(
+                lambda: self._outstanding)
 
     @property
     def pending(self) -> int:
@@ -133,6 +161,11 @@ class Device:
             yield self.env.timeout(service)
             request.completed_at = self.env.now
             self.stats.record(request, service)
+            self._tm_requests[request.kind].inc()
+            self._tm_pages[request.kind].inc(request.npages)
+            self._tracer.complete(KIND_LABELS[request.kind],
+                                  request.submitted_at, self.env.now,
+                                  "io", self._trace_track)
             if self.traffic is not None:
                 self.traffic.record(self.env.now, request)
         self._outstanding -= 1

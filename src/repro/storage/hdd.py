@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.sim import Environment, Event, Resource
-from repro.storage.device import Device
+from repro.storage.device import Device, KIND_LABELS
 from repro.storage.request import IORequest
 
 #: Pages per stripe unit.  The paper stripes file groups across the disks;
@@ -130,6 +130,9 @@ class HddArray(Device):
         ]
         yield self.env.all_of(pending)
         request.completed_at = self.env.now
+        self._tm_requests[request.kind].inc()
+        self._tracer.complete(KIND_LABELS[request.kind], request.submitted_at,
+                              self.env.now, "io", self._trace_track)
         self._outstanding -= 1
         done.succeed(request)
 
@@ -143,5 +146,6 @@ class HddArray(Device):
                                       + fragment.npages)
             yield self.env.timeout(service)
             self.stats.record(fragment, service)
+            self._tm_pages[fragment.kind].inc(fragment.npages)
             if self.traffic is not None:
                 self.traffic.record(self.env.now, fragment)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import DESIGN_SUMMARIES, build_parser, main
@@ -54,3 +56,52 @@ class TestCommands:
                      "--designs", "noSSD"])
         assert code == 0
         assert "QphH" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_chrome_file(self, capsys, tmp_path):
+        trace = tmp_path / "out.json"
+        code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                     "--profile", "tiny", "--duration", "4",
+                     "--designs", "LC", "--trace", str(trace)])
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        cats = {event.get("cat") for event in doc["traceEvents"]}
+        assert "io" in cats
+        assert "wrote" in capsys.readouterr().err
+
+    def test_trace_multiple_designs_one_file_each(self, capsys, tmp_path):
+        trace = tmp_path / "out.json"
+        code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                     "--profile", "tiny", "--duration", "3",
+                     "--designs", "noSSD,LC", "--trace", str(trace)])
+        assert code == 0
+        for design in ("noSSD", "LC"):
+            per_design = tmp_path / f"out-{design}.json"
+            assert json.loads(per_design.read_text())["traceEvents"]
+
+    def test_metrics_prints_registry(self, capsys):
+        code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                     "--profile", "tiny", "--duration", "3",
+                     "--designs", "LC", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Metrics — LC" in out
+        assert "bp_requests_total" in out
+        assert "txn_latency_seconds" in out
+
+    def test_trace_bad_directory_fails_fast(self, capsys):
+        code = main(["oltp", "--designs", "LC",
+                     "--trace", "/no/such/dir/out.json"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_no_flags_no_telemetry_output(self, capsys):
+        code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                     "--profile", "tiny", "--duration", "3",
+                     "--designs", "LC"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Metrics" not in captured.out
+        assert "trace events" not in captured.err

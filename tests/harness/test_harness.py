@@ -12,6 +12,7 @@ from repro.harness.experiments import (
     run_oltp_experiment,
     speedup_over_nossd,
 )
+from repro.harness.metrics import Sampler
 from repro.harness.report import format_series, format_speedups, format_table
 from repro.harness.runner import RunResult, WorkloadRunner
 from repro.harness.system import System, SystemConfig
@@ -102,6 +103,40 @@ class TestRunner:
         workload = make_workload("tpcc", 100, SCALE_PROFILES["tiny"])
         with pytest.raises(ValueError):
             WorkloadRunner(small_system, workload, nworkers=0)
+
+
+class TestSampler:
+    def test_stop_ends_collection(self, small_system):
+        sampler = Sampler(small_system, interval=1.0)
+        sampler.start()
+        small_system.env.run(until=5.5)
+        collected = len(sampler.samples)
+        assert collected >= 5
+        sampler.stop()
+        small_system.env.run(until=20.0)
+        assert len(sampler.samples) == collected
+        assert not sampler.running
+
+    def test_max_samples_bounds_memory(self, small_system):
+        sampler = Sampler(small_system, interval=1.0, max_samples=3)
+        sampler.start()
+        small_system.env.run(until=10.0)
+        assert len(sampler.samples) == 3
+        assert not sampler.running
+
+    def test_max_samples_validation(self, small_system):
+        with pytest.raises(ValueError):
+            Sampler(small_system, max_samples=0)
+
+    def test_runner_stops_sampler_after_run(self):
+        result = run_oltp_experiment(
+            "tpcc", 100, "noSSD", duration=4.0,
+            profile=SCALE_PROFILES["tiny"], nworkers=2)
+        assert not result.sampler.running
+        collected = len(result.sampler.samples)
+        # Advancing virtual time further must not grow the series.
+        result.system.env.run(until=result.system.env.now + 10.0)
+        assert len(result.sampler.samples) == collected
 
 
 class TestSpeedups:

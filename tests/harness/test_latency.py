@@ -43,6 +43,45 @@ class TestLatencyTracker:
         assert set(summary) == {"mean", "p50", "p95", "p99"}
 
 
+class TestSortedCache:
+    def test_sorted_views_are_cached(self):
+        tracker = LatencyTracker()
+        tracker.record("t", 3.0)
+        tracker.record("t", 1.0)
+        assert tracker._all("t") is tracker._all("t")
+        assert tracker._all() is tracker._all()
+
+    def test_record_invalidates_cache(self):
+        tracker = LatencyTracker()
+        tracker.record("t", 5.0)
+        assert tracker.percentile(100) == 5.0
+        assert tracker.percentile(100, "t") == 5.0
+        tracker.record("t", 9.0)
+        assert tracker.percentile(100) == 9.0
+        assert tracker.percentile(100, "t") == 9.0
+
+    def test_other_types_keep_their_cache(self):
+        tracker = LatencyTracker()
+        tracker.record("a", 1.0)
+        tracker.record("b", 2.0)
+        cached_a = tracker._all("a")
+        tracker.record("b", 3.0)
+        # "a" untouched, "b" and the merged view refreshed.
+        assert tracker._all("a") is cached_a
+        assert tracker.percentile(100, "b") == 3.0
+        assert tracker.percentile(100) == 3.0
+
+    def test_cached_results_stay_correct(self):
+        tracker = LatencyTracker()
+        values = [float((i * 31) % 17) for i in range(50)]
+        for value in values:
+            tracker.record("t", value)
+        expected = sorted(values)
+        assert tracker._all("t") == expected
+        assert tracker.percentile(0) == expected[0]
+        assert tracker.percentile(100) == expected[-1]
+
+
 class TestRunnerIntegration:
     def test_runner_records_latencies(self):
         result = run_oltp_experiment(

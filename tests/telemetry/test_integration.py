@@ -1,0 +1,103 @@
+"""End-to-end telemetry over a real (tiny) LC run.
+
+One short run is shared by the whole module; the assertions check that
+the instrumented hot paths actually fire, that registry counters agree
+with the engine's own statistics, and that a telemetry-free run stays
+dark.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import SCALE_PROFILES, run_oltp_experiment
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    telemetry = Telemetry()
+    result = run_oltp_experiment(
+        "tpcc", 100, "LC", duration=5.0,
+        profile=SCALE_PROFILES["tiny"], nworkers=4,
+        dirty_threshold=0.01, telemetry=telemetry)
+    return telemetry, result
+
+
+class TestEventCoverage:
+    def test_all_component_categories_present(self, traced_run):
+        telemetry, _ = traced_run
+        cats = {event.cat for event in telemetry.tracer.events}
+        assert {"bp", "ssd", "cleaner", "io", "counter"} <= cats
+
+    def test_tracks_cover_the_engine(self, traced_run):
+        telemetry, _ = traced_run
+        tracks = {event.track for event in telemetry.tracer.events}
+        assert "cleaner" in tracks
+        assert "ssd_manager" in tracks
+        assert "sampler" in tracks
+        assert any(track.startswith("device:") for track in tracks)
+
+    def test_events_use_virtual_time(self, traced_run):
+        telemetry, result = traced_run
+        assert all(0.0 <= event.ts <= result.system.env.now + 1e-9
+                   for event in telemetry.tracer.events)
+
+    def test_chrome_export_is_valid_json(self, traced_run, tmp_path):
+        telemetry, _ = traced_run
+        path = tmp_path / "trace.json"
+        telemetry.tracer.write_chrome(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestMetricsAgreeWithStats:
+    def test_buffer_pool_counters(self, traced_run):
+        telemetry, result = traced_run
+        registry = telemetry.registry
+        stats = result.system.bp.stats
+        requests = registry.get("bp_requests_total")
+        assert requests.labels(result="hit").value == stats.hits
+        assert requests.labels(result="ssd_hit").value == stats.ssd_hits
+        evictions = registry.get("bp_evictions_total")
+        assert evictions.labels(kind="clean").value == stats.evictions_clean
+        assert evictions.labels(kind="dirty").value == stats.evictions_dirty
+
+    def test_ssd_manager_counters(self, traced_run):
+        telemetry, result = traced_run
+        registry = telemetry.registry
+        stats = result.system.ssd_manager.stats
+        assert registry.get("ssd_mgr_writes_total").value == stats.writes
+        assert registry.get("ssd_mgr_reads_total").value == stats.reads
+        assert (registry.get("ssd_mgr_invalidations_total").value
+                == stats.invalidations)
+
+    def test_cleaner_actually_ran(self, traced_run):
+        telemetry, _ = traced_run
+        assert telemetry.registry.get("lc_cleaner_rounds_total").value > 0
+        assert telemetry.registry.get("lc_cleaner_pages_total").value > 0
+
+    def test_txn_latencies_match_tracker(self, traced_run):
+        telemetry, result = traced_run
+        family = telemetry.registry.get("txn_latency_seconds")
+        total = sum(child.count for child in family.children())
+        assert total == result.latencies.count()
+
+    def test_gauges_read_live_state(self, traced_run):
+        telemetry, result = traced_run
+        manager = result.system.ssd_manager
+        assert (telemetry.registry.get("ssd_used_frames").value
+                == manager.used_frames)
+        assert (telemetry.registry.get("bp_used_frames").value
+                == result.system.bp.used)
+
+
+class TestDisabledRunStaysDark:
+    def test_no_registry_rows_without_telemetry(self):
+        result = run_oltp_experiment(
+            "tpcc", 100, "LC", duration=2.0,
+            profile=SCALE_PROFILES["tiny"], nworkers=2)
+        telemetry = result.system.telemetry
+        assert telemetry.enabled is False
+        assert telemetry.registry.snapshot() == []
+        assert telemetry.tracer.events == ()
