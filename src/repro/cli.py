@@ -7,6 +7,8 @@ Commands:
   and print throughputs, speedups, and SSD statistics.
 * ``tpch``    — run the TPC-H power + throughput tests.
 * ``designs`` — list the available SSD designs with one-line summaries.
+* ``analyze`` — reconstruct per-transaction latency attribution from
+  ``--trace`` output and emit terminal/HTML/JSON reports.
 """
 
 from __future__ import annotations
@@ -44,9 +46,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--designs", default="noSSD,DW,LC,TAC",
                         help="comma-separated designs (see `designs`)")
     parser.add_argument("--trace", metavar="FILE", default=None,
-                        help="write a Chrome trace_event file (open in "
-                             "chrome://tracing or Perfetto); with several "
-                             "designs, one file per design")
+                        help="write a trace file (Chrome trace_event JSON, "
+                             "or JSONL when FILE ends in .jsonl); with "
+                             "several designs, one file per design; feed "
+                             "the files to `repro analyze`")
     parser.add_argument("--metrics", action="store_true",
                         help="print the full metrics registry after each run")
 
@@ -82,7 +85,10 @@ def _emit_telemetry(args, design: str, telemetry: Optional[Telemetry],
         return
     if args.trace:
         path = _trace_path(args.trace, design, multiple)
-        telemetry.tracer.write_chrome(path)
+        if path.endswith(".jsonl"):
+            telemetry.tracer.write_jsonl(path)
+        else:
+            telemetry.tracer.write_chrome(path)
         dropped = telemetry.tracer.dropped
         note = f" ({dropped} events dropped past cap)" if dropped else ""
         print(f"wrote {len(telemetry.tracer.events)} trace events "
@@ -182,6 +188,76 @@ def cmd_tpch(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Attribute tail latency from one or more trace files."""
+    import json
+
+    from repro.telemetry.analysis import (
+        analyze_traces,
+        bench_snapshot,
+        format_attribution_table,
+        format_interference_table,
+        validate_bench,
+    )
+
+    missing = [path for path in args.traces if not os.path.exists(path)]
+    if missing:
+        print(f"analyze: no such trace file: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        quantiles = [float(q) for q in args.tail.split(",") if q.strip()]
+    except ValueError:
+        print(f"analyze: --tail must be comma-separated percentiles, "
+              f"got {args.tail!r}", file=sys.stderr)
+        return 2
+    try:
+        analyses = analyze_traces(args.traces)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    for analysis in analyses:
+        if not analysis.txns:
+            print(f"analyze: {analysis.path}: no transaction spans — was "
+                  f"the run traced with this version?", file=sys.stderr)
+            return 2
+        if analysis.truncated:
+            print(f"warning: {analysis.path}: trace truncated, "
+                  f"{analysis.dropped} events dropped past the cap — "
+                  f"attribution undercounts late waits", file=sys.stderr)
+        if analysis.orphan_events:
+            print(f"note: {analysis.path}: {analysis.orphan_events} waits "
+                  f"belong to transactions cut off before commit",
+                  file=sys.stderr)
+
+    print(format_attribution_table(analyses, quantiles=quantiles,
+                                   txn_type=args.txn_type))
+    if any(a.background_io for a in analyses):
+        print()
+        print(format_interference_table(analyses))
+
+    if args.html:
+        from repro.telemetry.htmlreport import write_report
+        write_report(args.html, analyses, args.workload,
+                     quantiles=quantiles)
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    if args.bench:
+        snapshot = bench_snapshot(analyses, args.workload,
+                                  quantiles=quantiles)
+        errors = validate_bench(snapshot)
+        if errors:
+            print("analyze: generated BENCH document failed validation:",
+                  file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        with open(args.bench, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote benchmark snapshot to {args.bench}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -215,6 +291,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_tpch.add_argument("--sf", type=int, choices=(30, 100), default=30)
     _add_common(p_tpch)
     p_tpch.set_defaults(func=cmd_tpch)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="attribute tail latency from --trace output")
+    p_analyze.add_argument("traces", nargs="+", metavar="TRACE",
+                           help="trace files from --trace (JSONL or Chrome "
+                                "JSON; one per design)")
+    p_analyze.add_argument("--tail", default="50,95,99",
+                           help="comma-separated percentiles to decompose "
+                                "(default: 50,95,99)")
+    p_analyze.add_argument("--txn-type", default=None,
+                           help="restrict attribution to one transaction "
+                                "type (e.g. new_order)")
+    p_analyze.add_argument("--html", metavar="FILE", default=None,
+                           help="write a self-contained HTML report")
+    p_analyze.add_argument("--bench", metavar="FILE", default=None,
+                           help="write a machine-readable BENCH_*.json "
+                                "snapshot")
+    p_analyze.add_argument("--workload", default="oltp",
+                           help="workload label for the reports "
+                                "(default: oltp)")
+    p_analyze.set_defaults(func=cmd_analyze)
 
     return parser
 

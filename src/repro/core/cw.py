@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
+from repro.telemetry import EVICTION_CTX
 
 
 class CleanWriteManager(SsdManagerBase):
@@ -25,4 +26,4 @@ class CleanWriteManager(SsdManagerBase):
         (The dirtying itself already invalidated any SSD copy.)
         """
         yield from self.disk.write(frame.page_id, frame.version,
-                                   sequential=False)
+                                   sequential=False, ctx=EVICTION_CTX)

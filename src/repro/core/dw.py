@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
+from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX
 
 
 class DualWriteManager(SsdManagerBase):
@@ -26,10 +27,12 @@ class DualWriteManager(SsdManagerBase):
         """Write to disk and SSD in parallel; the frame is reusable when
         both complete (the paper's "synchronize dirty page writes")."""
         disk_write = self.env.process(
-            self.disk.write(frame.page_id, frame.version, sequential=False))
+            self.disk.write(frame.page_id, frame.version, sequential=False,
+                            ctx=EVICTION_CTX))
         if self.admission.qualifies(frame, self.used_frames):
             ssd_write = self.env.process(
-                self._cache_page(frame.page_id, frame.version, dirty=False))
+                self._cache_page(frame.page_id, frame.version, dirty=False,
+                                 ctx=EVICTION_CTX))
             yield self.env.all_of([disk_write, ssd_write])
         else:
             yield disk_write
@@ -37,10 +40,12 @@ class DualWriteManager(SsdManagerBase):
     def checkpoint_write(self, frame: Frame):
         """§3.2: checkpointed dirty random pages also prime the SSD."""
         disk_write = self.env.process(
-            self.disk.write(frame.page_id, frame.version, sequential=False))
+            self.disk.write(frame.page_id, frame.version, sequential=False,
+                            ctx=CHECKPOINT_CTX))
         if not frame.sequential:
             ssd_write = self.env.process(
-                self._cache_page(frame.page_id, frame.version, dirty=False))
+                self._cache_page(frame.page_id, frame.version, dirty=False,
+                                 ctx=CHECKPOINT_CTX))
             yield self.env.all_of([disk_write, ssd_write])
         else:
             yield disk_write

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
+from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX
 
 
 class ExclusiveSsdManager(SsdManagerBase):
@@ -27,7 +28,7 @@ class ExclusiveSsdManager(SsdManagerBase):
 
     name = "EXCL"
 
-    def _read_record(self, record):
+    def _read_record(self, record, ctx=None):
         """Serve the read, then *remove* the SSD copy (exclusivity).
 
         If the SSD held the newest copy, the caller's memory frame now
@@ -38,30 +39,32 @@ class ExclusiveSsdManager(SsdManagerBase):
         self.stats.reads += 1
         frame_no = record.frame_no
         self._drop_record(record)
-        yield self.device.read(frame_no, 1, random=True)
+        yield self.device.read(frame_no, 1, random=True, ctx=ctx)
         return version
 
     def on_evict_clean(self, frame: Frame):
         if not self.admission.qualifies(frame, self.used_frames):
             if frame.version > self.disk.disk_version(frame.page_id):
                 yield from self.disk.write(frame.page_id, frame.version,
-                                           sequential=False)
+                                           sequential=False,
+                                           ctx=EVICTION_CTX)
             return
         dirty = frame.version > self.disk.disk_version(frame.page_id)
         cached = yield from self._cache_page(frame.page_id, frame.version,
-                                             dirty=dirty)
+                                             dirty=dirty, ctx=EVICTION_CTX)
         if dirty and not cached:
             yield from self.disk.write(frame.page_id, frame.version,
-                                       sequential=False)
+                                       sequential=False, ctx=EVICTION_CTX)
 
     def on_evict_dirty(self, frame: Frame):
         if self.admission.qualifies(frame, self.used_frames):
             cached = yield from self._cache_page(frame.page_id,
-                                                 frame.version, dirty=True)
+                                                 frame.version, dirty=True,
+                                                 ctx=EVICTION_CTX)
             if cached:
                 return
         yield from self.disk.write(frame.page_id, frame.version,
-                                   sequential=False)
+                                   sequential=False, ctx=EVICTION_CTX)
 
     def on_checkpoint(self):
         """Dirty SSD pages hold the newest copies: flush them, as LC does."""
@@ -69,9 +72,11 @@ class ExclusiveSsdManager(SsdManagerBase):
             if not (record.valid and record.dirty):
                 continue
             if record.version > self.disk.disk_version(record.page_id):
-                yield self.device.read(record.frame_no, 1, random=True)
+                yield self.device.read(record.frame_no, 1, random=True,
+                                       ctx=CHECKPOINT_CTX)
                 yield from self.disk.write(record.page_id, record.version,
-                                           sequential=False)
+                                           sequential=False,
+                                           ctx=CHECKPOINT_CTX)
             self.table.set_dirty(record, False)
             self.clean_heap.push(record)
             self.stats.checkpoint_ssd_flushes += 1

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.core.ssd_buffer_table import SsdRecord
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
+from repro.telemetry import CLEANER_CTX, EVICTION_CTX
 
 
 class LazyCleaningManager(SsdManagerBase):
@@ -77,14 +78,15 @@ class LazyCleaningManager(SsdManagerBase):
                 frame, self.used_frames):
             cached = yield from self._cache_page(frame.page_id, frame.version,
                                                  dirty=True,
-                                                 rec_lsn=max(0, frame.rec_lsn))
+                                                 rec_lsn=max(0, frame.rec_lsn),
+                                                 ctx=EVICTION_CTX)
             if cached:
                 self._maybe_wake_cleaner()
                 return
         self.stats.fallback_disk_writes += 1
         self._tm_fallback.inc()
         yield from self.disk.write(frame.page_id, frame.version,
-                                   sequential=False)
+                                   sequential=False, ctx=EVICTION_CTX)
 
     # ------------------------------------------------------------------
     # The lazy-cleaning thread
@@ -158,7 +160,7 @@ class LazyCleaningManager(SsdManagerBase):
         yield self.env.all_of(reads)
         self.stats.cleaner_pages += len(group)
         self.stats.cleaner_ios += 1
-        yield from self.disk.write_run(first, versions)
+        yield from self.disk.write_run(first, versions, ctx=CLEANER_CTX)
         for record, page_id, version in captured:
             # Mark clean only if the record still describes the exact
             # page/version we wrote out — it may have been invalidated
@@ -211,7 +213,7 @@ class LazyCleaningManager(SsdManagerBase):
 
     def _raw_ssd_read(self, frame_no: int):
         """Transfer read for cleaning: no LRU-2 or hit accounting."""
-        yield self.device.read(frame_no, 1, random=True)
+        yield self.device.read(frame_no, 1, random=True, ctx=CLEANER_CTX)
 
     # ------------------------------------------------------------------
     # Checkpoint integration (§3.2)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
+from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX
 
 
 class RotatingSsdManager(SsdManagerBase):
@@ -46,7 +47,7 @@ class RotatingSsdManager(SsdManagerBase):
         if self._throttled():
             self.stats.declined_throttle += 1
             yield from self.disk.write(frame.page_id, frame.version,
-                                       sequential=False)
+                                       sequential=False, ctx=EVICTION_CTX)
             return
         yield from self._rotate_in(frame.page_id, frame.version, dirty=True)
 
@@ -55,7 +56,7 @@ class RotatingSsdManager(SsdManagerBase):
         if self.config.ssd_frames == 0:
             if dirty:
                 yield from self.disk.write(page_id, version,
-                                           sequential=False)
+                                           sequential=False, ctx=EVICTION_CTX)
             return
         record = self.table.records[self._next_frame]
         self._next_frame = (self._next_frame + 1) % self.config.ssd_frames
@@ -76,12 +77,14 @@ class RotatingSsdManager(SsdManagerBase):
         if displaced is not None:
             # The displaced page's newest copy lived here: it goes to
             # disk via memory (read the old frame content, write it out).
-            yield self.device.read(record.frame_no, 1, random=True)
+            yield self.device.read(record.frame_no, 1, random=True,
+                                   ctx=EVICTION_CTX)
             yield from self.disk.write(displaced[0], displaced[1],
-                                       sequential=False)
+                                       sequential=False, ctx=EVICTION_CTX)
         self.stats.writes += 1
         # The whole point of the design: the SSD write is sequential.
-        yield self.device.write(record.frame_no, 1, random=False)
+        yield self.device.write(record.frame_no, 1, random=False,
+                                ctx=EVICTION_CTX)
 
     def on_checkpoint(self):
         """Flush every dirty SSD page (same obligation as LC)."""
@@ -89,8 +92,10 @@ class RotatingSsdManager(SsdManagerBase):
             if not (record.valid and record.dirty):
                 continue
             if record.version > self.disk.disk_version(record.page_id):
-                yield self.device.read(record.frame_no, 1, random=True)
+                yield self.device.read(record.frame_no, 1, random=True,
+                                       ctx=CHECKPOINT_CTX)
                 yield from self.disk.write(record.page_id, record.version,
-                                           sequential=False)
+                                           sequential=False,
+                                           ctx=CHECKPOINT_CTX)
             self.table.set_dirty(record, False)
             self.stats.checkpoint_ssd_flushes += 1

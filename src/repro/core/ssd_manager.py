@@ -31,7 +31,7 @@ from repro.engine.disk_manager import DiskManager
 from repro.engine.page import Frame
 from repro.engine.wal import WriteAheadLog
 from repro.storage.ssd import Ssd
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX, NULL_TELEMETRY
 
 
 @dataclass
@@ -169,7 +169,7 @@ class SsdManagerBase:
     # Read path
     # ------------------------------------------------------------------
 
-    def try_read(self, page_id: int):
+    def try_read(self, page_id: int, ctx=None):
         """Process step: serve a buffer-pool miss from the SSD if possible.
 
         Returns the page version read, or None to fall back to disk
@@ -183,22 +183,22 @@ class SsdManagerBase:
             self.stats.declined_throttle += 1
             self._tm_declined.inc()
             return None
-        return (yield from self._read_record(record))
+        return (yield from self._read_record(record, ctx=ctx))
 
-    def read_for_correctness(self, page_id: int):
+    def read_for_correctness(self, page_id: int, ctx=None):
         """Process step: read a page that *must* come from the SSD."""
         record = self.table.lookup_valid(page_id)
         if record is None:
             raise LookupError(f"page {page_id} not valid in SSD")
-        return (yield from self._read_record(record))
+        return (yield from self._read_record(record, ctx=ctx))
 
-    def _read_record(self, record: SsdRecord):
+    def _read_record(self, record: SsdRecord, ctx=None):
         version = record.version
         self.stats.reads += 1
         self._tm_reads.inc()
         record.record_access(self.env.now)
         self._reheap(record)
-        yield self.device.read(record.frame_no, 1, random=True)
+        yield self.device.read(record.frame_no, 1, random=True, ctx=ctx)
         return version
 
     def _reheap(self, record: SsdRecord) -> None:
@@ -211,7 +211,7 @@ class SsdManagerBase:
     # ------------------------------------------------------------------
 
     def _cache_page(self, page_id: int, version: int, dirty: bool,
-                    rec_lsn: int = 0):
+                    rec_lsn: int = 0, ctx=None):
         """Process step: write one page image into the SSD buffer pool.
 
         Returns True if cached.  Handles the already-cached case, the
@@ -244,7 +244,7 @@ class SsdManagerBase:
         if self._tracer.enabled:
             self._tracer.instant("admit", "ssd", "ssd_manager",
                                  {"page": page_id, "dirty": dirty})
-        yield self.device.write(record.frame_no, 1, random=True)
+        yield self.device.write(record.frame_no, 1, random=True, ctx=ctx)
         return True
 
     def _evict_for_space(self) -> Optional[SsdRecord]:
@@ -298,17 +298,19 @@ class SsdManagerBase:
             # SSD dirty.
             dirty = frame.version > self.disk.disk_version(frame.page_id)
             cached = yield from self._cache_page(frame.page_id,
-                                                 frame.version, dirty=dirty)
+                                                 frame.version, dirty=dirty,
+                                                 ctx=EVICTION_CTX)
             if dirty and not cached:
                 # Couldn't re-cache (throttle/full): the newest copy must
                 # not be dropped — write it to disk instead.
                 yield from self.disk.write(frame.page_id, frame.version,
-                                           sequential=False)
+                                           sequential=False,
+                                           ctx=EVICTION_CTX)
             if dirty and cached:
                 self._after_dirty_cached()
         elif frame.version > self.disk.disk_version(frame.page_id):
             yield from self.disk.write(frame.page_id, frame.version,
-                                       sequential=False)
+                                       sequential=False, ctx=EVICTION_CTX)
 
     def on_evict_dirty(self, frame: Frame):
         """Process step: a dirty page leaves the pool (design-specific)."""
@@ -364,7 +366,7 @@ class SsdManagerBase:
         also prime the SSD (§3.2).
         """
         yield from self.disk.write(frame.page_id, frame.version,
-                                   sequential=False)
+                                   sequential=False, ctx=CHECKPOINT_CTX)
 
     def on_checkpoint(self):
         """Process step: design-specific checkpoint work (LC overrides)."""
@@ -431,7 +433,7 @@ class NoSsdManager(SsdManagerBase):
         super().__init__(env, device, disk, wal, config, admission,
                          telemetry=telemetry)
 
-    def try_read(self, page_id: int):
+    def try_read(self, page_id: int, ctx=None):
         return None
         yield  # pragma: no cover - makes this a generator
 
@@ -441,7 +443,7 @@ class NoSsdManager(SsdManagerBase):
 
     def on_evict_dirty(self, frame: Frame):
         yield from self.disk.write(frame.page_id, frame.version,
-                                   sequential=False)
+                                   sequential=False, ctx=EVICTION_CTX)
 
     def invalidate(self, page_id: int) -> None:
         pass

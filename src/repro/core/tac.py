@@ -32,6 +32,7 @@ from repro.core.heaps import LazyMinHeap
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
 from repro.storage.request import IoKind, IORequest
+from repro.telemetry import ADMISSION_CTX, EVICTION_CTX
 
 
 class TemperatureAwareManager(SsdManagerBase):
@@ -89,11 +90,11 @@ class TemperatureAwareManager(SsdManagerBase):
     # Read path: every call is a buffer-pool miss, so bump temperature
     # ------------------------------------------------------------------
 
-    def try_read(self, page_id: int):
+    def try_read(self, page_id: int, ctx=None):
         """Process step: serve a miss from the SSD, bumping the extent
         temperature (every call is a buffer-pool miss)."""
         self._bump(page_id)
-        return (yield from super().try_read(page_id))
+        return (yield from super().try_read(page_id, ctx=ctx))
 
     def _reheap(self, record) -> None:
         """TAC replacement is temperature-ordered, not LRU-2: reads do
@@ -184,7 +185,8 @@ class TemperatureAwareManager(SsdManagerBase):
         if self._tracer.enabled:
             self._tracer.instant("admit", "ssd", "ssd_manager",
                                  {"page": page_id, "dirty": False})
-        yield self.device.write(record.frame_no, 1, random=True)
+        yield self.device.write(record.frame_no, 1, random=True,
+                                ctx=ADMISSION_CTX)
         return True
 
     def on_evict_clean(self, frame: Frame):
@@ -196,7 +198,8 @@ class TemperatureAwareManager(SsdManagerBase):
         """Step (iv): write to disk; if an *invalidated* version of the
         page sits in the SSD, also write the new version there."""
         disk_write = self.env.process(
-            self.disk.write(frame.page_id, frame.version, sequential=False))
+            self.disk.write(frame.page_id, frame.version, sequential=False,
+                            ctx=EVICTION_CTX))
         record = self.table.lookup(frame.page_id)
         if record is not None and not record.valid:
             ssd_write = self.env.process(
@@ -219,7 +222,8 @@ class TemperatureAwareManager(SsdManagerBase):
         self.temp_heap.push(record)
         self.stats.writes += 1
         self._tm_writes.inc()
-        yield self.device.write(record.frame_no, 1, random=True)
+        yield self.device.write(record.frame_no, 1, random=True,
+                                ctx=EVICTION_CTX)
 
     # ------------------------------------------------------------------
     # Logical invalidation (§2.5: the frame is *not* reclaimed)

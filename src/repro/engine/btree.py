@@ -120,19 +120,20 @@ class BPlusTree:
         index = bisect.bisect_right(node.keys, key)
         return node.children[index]
 
-    def lookup(self, bp: BufferPool, key: int):
+    def lookup(self, bp: BufferPool, key: int, ctx=None):
         """Process step: point lookup; returns the value or None."""
-        leaf = yield from self._fetch_leaf(bp, key, for_update=False)
+        leaf = yield from self._fetch_leaf(bp, key, for_update=False, ctx=ctx)
         index = bisect.bisect_left(leaf.keys, key)
         found = index < len(leaf.keys) and leaf.keys[index] == key
         return leaf.values[index] if found else None
 
-    def update(self, bp: BufferPool, key: int, txn_id: Optional[int] = None):
+    def update(self, bp: BufferPool, key: int, txn_id: Optional[int] = None,
+               ctx=None):
         """Process step: in-place update of the record for ``key``.
 
         Dirties the leaf page; returns True if the key existed.
         """
-        frame, leaf = yield from self._fetch_leaf_frame(bp, key)
+        frame, leaf = yield from self._fetch_leaf_frame(bp, key, ctx=ctx)
         index = bisect.bisect_left(leaf.keys, key)
         found = index < len(leaf.keys) and leaf.keys[index] == key
         if found:
@@ -141,9 +142,10 @@ class BPlusTree:
         bp.unpin(frame)
         return found
 
-    def insert(self, bp: BufferPool, key: int, txn_id: Optional[int] = None):
+    def insert(self, bp: BufferPool, key: int, txn_id: Optional[int] = None,
+               ctx=None):
         """Process step: insert ``key`` (idempotent), splitting if needed."""
-        frame, leaf = yield from self._fetch_leaf_frame(bp, key)
+        frame, leaf = yield from self._fetch_leaf_frame(bp, key, ctx=ctx)
         index = bisect.bisect_left(leaf.keys, key)
         if index < len(leaf.keys) and leaf.keys[index] == key:
             bp.unpin(frame)
@@ -153,18 +155,19 @@ class BPlusTree:
         bp.mark_dirty(frame, txn_id=txn_id)
         bp.unpin(frame)
         if len(leaf.keys) > self.leaf_capacity:
-            yield from self._split(bp, leaf, txn_id)
+            yield from self._split(bp, leaf, txn_id, ctx=ctx)
         return True
 
-    def _fetch_leaf(self, bp: BufferPool, key: int, for_update: bool):
-        frame, leaf = yield from self._fetch_leaf_frame(bp, key)
+    def _fetch_leaf(self, bp: BufferPool, key: int, for_update: bool,
+                    ctx=None):
+        frame, leaf = yield from self._fetch_leaf_frame(bp, key, ctx=ctx)
         bp.unpin(frame)
         return leaf
 
-    def _fetch_leaf_frame(self, bp: BufferPool, key: int):
+    def _fetch_leaf_frame(self, bp: BufferPool, key: int, ctx=None):
         pid = self.root_page
         while True:
-            frame = yield from bp.fetch(pid)
+            frame = yield from bp.fetch(pid, ctx=ctx)
             node = self.nodes[pid]
             if node.is_leaf:
                 return frame, node
@@ -176,7 +179,8 @@ class BPlusTree:
     # Splits
     # ------------------------------------------------------------------
 
-    def _split(self, bp: BufferPool, node: _Node, txn_id: Optional[int]):
+    def _split(self, bp: BufferPool, node: _Node, txn_id: Optional[int],
+               ctx=None):
         """Process step: split an overfull node, recursing up the tree."""
         self.splits += 1
         new_pid = self._allocate(1)
@@ -201,7 +205,7 @@ class BPlusTree:
         self.nodes[new_pid] = sibling
 
         # The new page is created in memory, dirty, never read from disk.
-        new_frame = yield from bp.new_page(new_pid)
+        new_frame = yield from bp.new_page(new_pid, ctx=ctx)
         bp.unpin(new_frame)
 
         if node.parent is None:
@@ -213,16 +217,16 @@ class BPlusTree:
             self.nodes[root_pid] = root
             self.root_page = root_pid
             self.height += 1
-            root_frame = yield from bp.new_page(root_pid)
+            root_frame = yield from bp.new_page(root_pid, ctx=ctx)
             bp.unpin(root_frame)
             return
 
         parent = self.nodes[node.parent]
-        frame = yield from bp.fetch(parent.page_id)
+        frame = yield from bp.fetch(parent.page_id, ctx=ctx)
         index = bisect.bisect_right(parent.keys, separator)
         parent.keys.insert(index, separator)
         parent.children.insert(index + 1, new_pid)
         bp.mark_dirty(frame, txn_id=txn_id)
         bp.unpin(frame)
         if len(parent.keys) > self.fanout - 1:
-            yield from self._split(bp, parent, txn_id)
+            yield from self._split(bp, parent, txn_id, ctx=ctx)

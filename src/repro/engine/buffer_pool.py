@@ -27,7 +27,7 @@ from repro.engine.disk_manager import DiskManager
 from repro.engine.page import Frame, PageId
 from repro.engine.readahead import ReadAhead
 from repro.engine.wal import WriteAheadLog
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import EVICTION_CTX, NULL_TELEMETRY
 
 
 class BufferPoolStats:
@@ -159,10 +159,12 @@ class BufferPool:
     # Fetch path
     # ------------------------------------------------------------------
 
-    def fetch(self, page_id: PageId):
+    def fetch(self, page_id: PageId, ctx=None):
         """Process step: pin and return the frame for ``page_id``.
 
         The caller must :meth:`unpin` the frame when done with it.
+        ``ctx`` (a :class:`~repro.telemetry.TraceContext`) attributes
+        every wait and I/O along the way to the causing transaction.
         """
         while True:
             frame = self.frames.get(page_id)
@@ -181,7 +183,10 @@ class BufferPool:
                     by_reason[reason] = by_reason.get(reason, 0.0) + waited
                     self._tm_latch_wait_seconds.observe(waited)
                     self._tracer.complete("latch_wait", started, self.env.now,
-                                          "bp", "buffer_pool")
+                                          "bp", "buffer_pool",
+                                          {"reason": reason}
+                                          if self._tracer.enabled else None,
+                                          ctx=ctx)
                     continue
                 frame.pin_count += 1
                 self._touch(frame)
@@ -191,7 +196,10 @@ class BufferPool:
 
             pending = self._inflight.get(page_id)
             if pending is not None:
+                started = self.env.now
                 yield pending
+                self._tracer.complete("inflight_wait", started, self.env.now,
+                                      "bp", "buffer_pool", ctx=ctx)
                 continue
 
             # Miss: this process performs the read.
@@ -200,7 +208,7 @@ class BufferPool:
             self._reserved += 1
             self.stats.misses += 1
             try:
-                frame = yield from self._read_in(page_id)
+                frame = yield from self._read_in(page_id, ctx=ctx)
             finally:
                 # pop/max guards: drop_all() (crash simulation) may have
                 # reset this bookkeeping while the read was in flight.
@@ -211,13 +219,23 @@ class BufferPool:
             self._touch(frame)
             return frame
 
-    def _read_in(self, page_id: PageId):
-        """Process step: bring a missing page in (SSD first, else disk)."""
-        yield from self._ensure_free_frames()
-        version = yield from self.ssd.try_read(page_id)
+    def _read_in(self, page_id: PageId, ctx=None):
+        """Process step: bring a missing page in (SSD first, else disk).
+
+        Records an outer ``bp_miss`` span (for waterfall display; the
+        analyzer sums only the leaf waits nested inside it).
+        """
+        miss_started = self.env.now
+        yield from self._ensure_free_frames(ctx=ctx)
+        version = yield from self.ssd.try_read(page_id, ctx=ctx)
         if version is not None:
             self.stats.ssd_hits += 1
             self._tm_ssd_hit.inc()
+            self._tracer.complete("bp_miss", miss_started, self.env.now,
+                                  "bp", "buffer_pool",
+                                  {"page": page_id, "src": "ssd"}
+                                  if self._tracer.enabled else None,
+                                  ctx=ctx)
             frame = Frame(page_id, version, sequential=False)
             if (version > self.disk.disk_version(page_id)
                     and not self.ssd.contains_valid(page_id)):
@@ -234,20 +252,27 @@ class BufferPool:
         self.stats.disk_reads += 1
         self._tm_disk_read.inc()
         if self.expand_reads and not self._warmed:
-            frame = yield from self._expanded_read(page_id)
+            frame = yield from self._expanded_read(page_id, ctx=ctx)
         else:
-            versions = yield from self.disk.read(page_id, 1, sequential=False)
+            versions = yield from self.disk.read(page_id, 1, sequential=False,
+                                                 ctx=ctx)
             frame = Frame(page_id, versions[0], sequential=False)
             self.frames[page_id] = frame
         self.ssd.on_read_from_disk(frame)
+        self._tracer.complete("bp_miss", miss_started, self.env.now,
+                              "bp", "buffer_pool",
+                              {"page": page_id, "src": "disk"}
+                              if self._tracer.enabled else None,
+                              ctx=ctx)
         return frame
 
-    def _expanded_read(self, page_id: PageId):
+    def _expanded_read(self, page_id: PageId, ctx=None):
         """Read an aligned 8-page run to fill the pool faster (cold start)."""
         span = 8
         start = (page_id // span) * span
         npages = min(span, self.disk.npages - start)
-        versions = yield from self.disk.read(start, npages, sequential=False)
+        versions = yield from self.disk.read(start, npages, sequential=False,
+                                             ctx=ctx)
         frame = None
         for offset, version in enumerate(versions):
             pid = start + offset
@@ -265,7 +290,7 @@ class BufferPool:
     # Prefetch (read-ahead) path with multi-page trimming (§3.3.3)
     # ------------------------------------------------------------------
 
-    def prefetch(self, start: PageId, npages: int):
+    def prefetch(self, start: PageId, npages: int, ctx=None):
         """Process step: bring ``[start, start+npages)`` in via read-ahead.
 
         Pages arrive unpinned and marked *sequential* (the admission
@@ -285,7 +310,7 @@ class BufferPool:
             self._inflight[pid] = done
         self._reserved += len(wanted)
         try:
-            yield from self._ensure_free_frames()
+            yield from self._ensure_free_frames(ctx=ctx)
             plan = self.ssd.trim_plan(wanted)
             ios = []
             if plan.disk_count > 0:
@@ -294,7 +319,16 @@ class BufferPool:
             for pid in plan.ssd_pages:
                 ios.append(self.env.process(self._ssd_single(pid)))
             if ios:
+                # One outer span covers the parallel I/O fan-out; the
+                # inner reads run ctx-less so overlapping device time is
+                # not double-attributed to the transaction.
+                started = self.env.now
                 yield self.env.all_of(ios)
+                self._tracer.complete("prefetch_wait", started, self.env.now,
+                                      "bp", "buffer_pool",
+                                      {"pages": len(wanted)}
+                                      if self._tracer.enabled else None,
+                                      ctx=ctx)
         finally:
             self._reserved = max(0, self._reserved - len(wanted))
             for pid in wanted:
@@ -371,7 +405,7 @@ class BufferPool:
             raise ValueError(f"unpinning unpinned frame {frame!r}")
         frame.pin_count -= 1
 
-    def new_page(self, page_id: PageId):
+    def new_page(self, page_id: PageId, ctx=None):
         """Create a page in the pool without reading it (B+-tree splits).
 
         The frame starts dirty — this is the "dirty page generated
@@ -381,7 +415,7 @@ class BufferPool:
             raise ValueError(f"page {page_id} already resident")
         self._reserved += 1
         try:
-            yield from self._ensure_free_frames()
+            yield from self._ensure_free_frames(ctx=ctx)
         finally:
             self._reserved -= 1
         frame = Frame(page_id, version=0, sequential=False)
@@ -470,7 +504,7 @@ class BufferPool:
         event, self._frame_freed = self._frame_freed, self.env.event()
         event.succeed()
 
-    def _ensure_free_frames(self, needed: int = 0):
+    def _ensure_free_frames(self, needed: int = 0, ctx=None):
         """Process step: wait until the caller's (already reserved) claim
         fits within capacity.
 
@@ -481,19 +515,27 @@ class BufferPool:
         ``needed`` covers only *additional* un-reserved slots.
 
         The lazy writer normally keeps a cushion, so this returns without
-        yielding; under pressure it blocks until evictions complete.
+        yielding; under pressure it blocks until evictions complete — that
+        blocked time is recorded as a ``free_wait`` span under ``ctx``.
         """
         if self.free_frames - needed < self._low_water:
             self._kick_lazywriter()
-        while self.used + needed > self.capacity:
-            if not self.frames and self._evicting == 0:
-                # Nothing exists to evict: reservations alone overcommit
-                # the pool (a cold-start burst).  Proceed — the overshoot
-                # is bounded by the number of concurrent reads and the
-                # lazy writer reclaims it as frames materialize.
-                return
-            self._kick_lazywriter()
-            yield self._frame_freed
+        if self.used + needed <= self.capacity:
+            return
+        started = self.env.now
+        try:
+            while self.used + needed > self.capacity:
+                if not self.frames and self._evicting == 0:
+                    # Nothing exists to evict: reservations alone overcommit
+                    # the pool (a cold-start burst).  Proceed — the overshoot
+                    # is bounded by the number of concurrent reads and the
+                    # lazy writer reclaims it as frames materialize.
+                    return
+                self._kick_lazywriter()
+                yield self._frame_freed
+        finally:
+            self._tracer.complete("free_wait", started, self.env.now,
+                                  "bp", "buffer_pool", ctx=ctx)
 
     def _evict(self, victim: Frame):
         """Process step: write out (per design) and drop one frame."""
@@ -508,7 +550,7 @@ class BufferPool:
                 self._tm_evict_dirty.inc()
                 # WAL rule: log records for the page must be durable before
                 # the page goes to the SSD or disk (§2.4).
-                yield from self.wal.force(victim.page_lsn)
+                yield from self.wal.force(victim.page_lsn, ctx=EVICTION_CTX)
                 yield from self.ssd.on_evict_dirty(victim)
                 tracer.complete("evict_dirty", started, self.env.now,
                                 "bp", "buffer_pool",

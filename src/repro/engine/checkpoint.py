@@ -23,7 +23,7 @@ from repro.sim import Environment
 from repro.engine.buffer_pool import BufferPool
 from repro.engine.page import Frame
 from repro.engine.wal import WriteAheadLog
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import CHECKPOINT_CTX, NULL_TELEMETRY
 
 #: Concurrent page writes per flush wave.
 FLUSH_BATCH = 32
@@ -76,7 +76,7 @@ class Checkpointer:
             dirty_count = len(dirty)
             if dirty:
                 newest = max(frame.page_lsn for frame in dirty)
-                yield from self.wal.force(newest)
+                yield from self.wal.force(newest, ctx=CHECKPOINT_CTX)
             for wave_start in range(0, len(dirty), FLUSH_BATCH):
                 wave = dirty[wave_start:wave_start + FLUSH_BATCH]
                 pending = [
@@ -137,7 +137,7 @@ class FuzzyCheckpointer(Checkpointer):
         redo_from = min(rec_lsns) if rec_lsns else self.wal.tail_lsn + 1
         # The checkpoint record itself: one forced log page.
         marker = self.wal.append(page_id=-1, version=0)
-        yield from self.wal.force(marker)
+        yield from self.wal.force(marker, ctx=CHECKPOINT_CTX)
         self.last_checkpoint_lsn = redo_from - 1
         self.wal.truncate(redo_from - 1)
         self.checkpoints_taken += 1

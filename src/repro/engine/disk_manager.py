@@ -46,7 +46,8 @@ class DiskManager:
     # I/O
     # ------------------------------------------------------------------
 
-    def read(self, page_id: int, npages: int = 1, sequential: bool = False):
+    def read(self, page_id: int, npages: int = 1, sequential: bool = False,
+             ctx=None):
         """Process step: read ``npages`` contiguous pages.
 
         Returns the list of on-disk versions, captured at I/O completion.
@@ -54,18 +55,19 @@ class DiskManager:
         self._check_range(page_id, npages)
         kind = IoKind.SEQUENTIAL_READ if sequential else IoKind.RANDOM_READ
         self.reads_issued += 1
-        yield self.device.submit(IORequest(kind, page_id, npages))
+        yield self.device.submit(IORequest(kind, page_id, npages, ctx=ctx))
         return [self.disk_version(page_id + i) for i in range(npages)]
 
-    def write(self, page_id: int, version: int, sequential: bool = False):
+    def write(self, page_id: int, version: int, sequential: bool = False,
+              ctx=None):
         """Process step: write one page; the image updates at completion."""
         self._check_range(page_id, 1)
         kind = IoKind.SEQUENTIAL_WRITE if sequential else IoKind.RANDOM_WRITE
         self.writes_issued += 1
-        yield self.device.submit(IORequest(kind, page_id, 1))
+        yield self.device.submit(IORequest(kind, page_id, 1, ctx=ctx))
         self._persist(page_id, version)
 
-    def write_run(self, page_id: int, versions: List[int]):
+    def write_run(self, page_id: int, versions: List[int], ctx=None):
         """Process step: write a contiguous run of pages as a single I/O.
 
         Used by LC's group cleaning (§3.3.5): up to α dirty SSD pages with
@@ -75,7 +77,8 @@ class DiskManager:
         self.writes_issued += 1
         kind = (IoKind.SEQUENTIAL_WRITE if len(versions) > 1
                 else IoKind.RANDOM_WRITE)
-        yield self.device.submit(IORequest(kind, page_id, len(versions)))
+        yield self.device.submit(IORequest(kind, page_id, len(versions),
+                                           ctx=ctx))
         for offset, version in enumerate(versions):
             self._persist(page_id + offset, version)
 

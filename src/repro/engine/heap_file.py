@@ -35,7 +35,7 @@ class HeapFile:
 
     def scan(self, bp: BufferPool, start: Optional[int] = None,
              npages: Optional[int] = None,
-             accuracy: Optional[ReadAheadAccuracy] = None):
+             accuracy: Optional[ReadAheadAccuracy] = None, ctx=None):
         """Process step: sequentially read a page range of the table.
 
         Touches every page (fetch + unpin), using read-ahead after the
@@ -54,7 +54,7 @@ class HeapFile:
         scanned = 0
         # Leading pages: read individually before read-ahead engages.
         for pid in range(first, first + trigger):
-            frame = yield from bp.fetch(pid)
+            frame = yield from bp.fetch(pid, ctx=ctx)
             if accuracy is not None:
                 accuracy.score(frame.sequential, True)
             bp.unpin(frame)
@@ -75,11 +75,12 @@ class HeapFile:
         for index, (start_page, batch) in enumerate(batches):
             while launched < len(batches) and launched < index + ra.depth:
                 b_start, b_count = batches[launched]
-                inflight[launched] = env.process(bp.prefetch(b_start, b_count))
+                inflight[launched] = env.process(
+                    bp.prefetch(b_start, b_count, ctx=ctx))
                 launched += 1
             yield inflight.pop(index)
             for pid in range(start_page, start_page + batch):
-                frame = yield from bp.fetch(pid)
+                frame = yield from bp.fetch(pid, ctx=ctx)
                 if accuracy is not None:
                     accuracy.score(frame.sequential, True)
                 bp.unpin(frame)

@@ -86,11 +86,14 @@ class WriteAheadLog:
         self._truncated += len(self.records) - len(keep)
         self.records = keep
 
-    def force(self, lsn: int):
+    def force(self, lsn: int, ctx=None):
         """Process step: return once records up to ``lsn`` are durable.
 
         Concurrent forcers are batched: whoever arrives while a flush is in
-        flight simply waits for a later flush that covers their LSN.
+        flight simply waits for a later flush that covers their LSN.  The
+        waiter's time is recorded as a ``wal_wait`` span under ``ctx`` —
+        the group-commit flush I/O itself belongs to the flusher, not to
+        any one waiter.
         """
         if lsn <= self.flushed_lsn:
             return
@@ -99,7 +102,10 @@ class WriteAheadLog:
         if not self._flusher_running:
             self._flusher_running = True
             self.env.process(self._flush_loop())
+        started = self.env.now
         yield done
+        self._tracer.complete("wal_wait", started, self.env.now,
+                              "wal", "wal", ctx=ctx)
 
     def _flush_loop(self):
         while self._waiters:

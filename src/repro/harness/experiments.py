@@ -133,6 +133,11 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                          checkpoint_interval=checkpoint_interval,
                          expand_reads=expand_reads,
                          telemetry=telemetry)
+    tracer = system.telemetry.tracer
+    if tracer.enabled:
+        tracer.instant("run_meta", "meta", "meta",
+                       {"design": design, "benchmark": benchmark,
+                        "scale": scale, "duration": duration})
     runner = WorkloadRunner(system, workload, nworkers=nworkers,
                             bucket_seconds=bucket_seconds, seed=seed)
     return runner.run(duration)
@@ -148,6 +153,11 @@ def run_tpch_experiment(sf: int, design: str,
     system = make_system("tpch", workload, design, profile,
                          checkpoint_interval=checkpoint_interval,
                          telemetry=telemetry)
+    tracer = system.telemetry.tracer
+    if tracer.enabled:
+        tracer.instant("run_meta", "meta", "meta",
+                       {"design": design, "benchmark": "tpch",
+                        "scale": sf, "duration": None})
     workload.setup(system)
     system.start_services()
     done = system.env.process(workload.full_run(system))

@@ -20,7 +20,12 @@ from repro.telemetry import NULL_TELEMETRY, percentile_of
 
 @dataclass
 class Sample:
-    """One periodic snapshot of system state."""
+    """One periodic snapshot of system state.
+
+    The ``bp_*`` request counters are cumulative; consumers (the
+    ``repro analyze`` time series) difference adjacent samples to get
+    windowed hit ratios.
+    """
 
     time: float
     ssd_used: int
@@ -29,6 +34,9 @@ class Sample:
     bp_dirty: int
     disk_pending: int
     ssd_pending: int
+    bp_hits: int = 0
+    bp_misses: int = 0
+    bp_ssd_hits: int = 0
 
 
 #: The sampled fields, declared once: (name, getter) pairs shared by the
@@ -40,6 +48,9 @@ SAMPLE_FIELDS = (
     ("bp_dirty", lambda s: s.bp.dirty_count),
     ("disk_pending", lambda s: s.data_device.pending),
     ("ssd_pending", lambda s: s.ssd_device.pending),
+    ("bp_hits", lambda s: s.bp.stats.hits),
+    ("bp_misses", lambda s: s.bp.stats.misses),
+    ("bp_ssd_hits", lambda s: s.bp.stats.ssd_hits),
 )
 
 
@@ -97,11 +108,19 @@ class Sampler:
                                {"used": values["ssd_used"],
                                 "dirty": values["ssd_dirty"]},
                                track="sampler")
+                tracer.counter("ssd_dirty_fraction",
+                               {"fraction": values["ssd_dirty_fraction"]},
+                               track="sampler")
                 tracer.counter("pending_ios",
                                {"disk": values["disk_pending"],
                                 "ssd": values["ssd_pending"]},
                                track="sampler")
                 tracer.counter("bp_dirty", {"frames": values["bp_dirty"]},
+                               track="sampler")
+                tracer.counter("bp_requests",
+                               {"hits": values["bp_hits"],
+                                "misses": values["bp_misses"],
+                                "ssd_hits": values["bp_ssd_hits"]},
                                track="sampler")
             yield system.env.timeout(self.interval)
 

@@ -7,12 +7,19 @@ from typing import Dict, List, Sequence, Tuple
 
 def format_table(title: str, headers: Sequence[str],
                  rows: Sequence[Sequence[object]]) -> str:
-    """Render an aligned text table with a title rule."""
-    cells = [[str(value) for value in row] for row in rows]
+    """Render an aligned text table with a title rule.
+
+    Ragged rows (fewer cells than headers) are padded with empty cells.
+    """
+    ncols = len(headers)
+    cells = [
+        [str(value) for value in row] + [""] * (ncols - len(row))
+        for row in rows
+    ]
     widths = [
         max(len(headers[col]), *(len(row[col]) for row in cells))
         if cells else len(headers[col])
-        for col in range(len(headers))
+        for col in range(ncols)
     ]
 
     def line(values: Sequence[str]) -> str:
@@ -25,18 +32,46 @@ def format_table(title: str, headers: Sequence[str],
     return "\n".join(parts)
 
 
+def downsample_series(series: List[Tuple[float, float]],
+                      max_rows: int = 40) -> List[Tuple[float, float]]:
+    """Reduce a time series to at most ``max_rows`` points.
+
+    Consecutive samples are grouped into equal-count buckets; each bucket
+    is rendered as (first sample time, mean value) so long runs stay
+    readable without hiding sustained shifts.
+    """
+    if max_rows < 1:
+        raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+    if len(series) <= max_rows:
+        return list(series)
+    per_bucket = -(-len(series) // max_rows)
+    out = []
+    for start in range(0, len(series), per_bucket):
+        bucket = series[start:start + per_bucket]
+        mean = sum(value for _, value in bucket) / len(bucket)
+        out.append((bucket[0][0], mean))
+    return out
+
+
 def format_series(title: str, series: List[Tuple[float, float]],
                   time_label: str = "t", value_label: str = "value",
-                  width: int = 50) -> str:
-    """Render a time series as an ASCII bar sparkline table."""
+                  width: int = 50, max_rows: int = 40) -> str:
+    """Render a time series as an ASCII bar sparkline table.
+
+    Long series are downsampled to ~``max_rows`` bucket-averaged rows
+    (pass ``max_rows=len(series)`` or larger to disable).
+    """
     if not series:
         return f"{title}\n(empty)"
-    peak = max(value for _, value in series) or 1.0
+    shown = downsample_series(series, max_rows=max_rows)
+    peak = max(value for _, value in shown) or 1.0
     lines = [title, "=" * len(title),
              f"{time_label:>8}  {value_label:>12}"]
-    for when, value in series:
+    for when, value in shown:
         bar = "#" * int(round(value / peak * width))
         lines.append(f"{when:8.1f}  {value:12.1f}  {bar}")
+    if len(shown) < len(series):
+        lines.append(f"({len(series)} samples in {len(shown)} buckets)")
     return "\n".join(lines)
 
 

@@ -165,20 +165,21 @@ class Device:
             self._tm_pages[request.kind].inc(request.npages)
             self._tracer.complete(KIND_LABELS[request.kind],
                                   request.submitted_at, self.env.now,
-                                  "io", self._trace_track)
+                                  "io", self._trace_track,
+                                  ctx=request.ctx)
             if self.traffic is not None:
                 self.traffic.record(self.env.now, request)
         self._outstanding -= 1
         done.succeed(request)
 
     def read(self, address: int, npages: int = 1, random: bool = True,
-             tag=None) -> Event:
+             tag=None, ctx=None) -> Event:
         """Convenience wrapper building and submitting a read request."""
         kind = IoKind.of("read", random)
-        return self.submit(IORequest(kind, address, npages, tag=tag))
+        return self.submit(IORequest(kind, address, npages, tag=tag, ctx=ctx))
 
     def write(self, address: int, npages: int = 1, random: bool = True,
-              tag=None) -> Event:
+              tag=None, ctx=None) -> Event:
         """Convenience wrapper building and submitting a write request."""
         kind = IoKind.of("write", random)
-        return self.submit(IORequest(kind, address, npages, tag=tag))
+        return self.submit(IORequest(kind, address, npages, tag=tag, ctx=ctx))

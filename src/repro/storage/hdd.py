@@ -132,7 +132,8 @@ class HddArray(Device):
         request.completed_at = self.env.now
         self._tm_requests[request.kind].inc()
         self._tracer.complete(KIND_LABELS[request.kind], request.submitted_at,
-                              self.env.now, "io", self._trace_track)
+                              self.env.now, "io", self._trace_track,
+                              ctx=request.ctx)
         self._outstanding -= 1
         done.succeed(request)
 

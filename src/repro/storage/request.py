@@ -63,6 +63,9 @@ class IORequest:
     address: int
     npages: int = 1
     tag: Any = None
+    #: Trace context of the transaction (or background activity) that
+    #: caused this I/O; carried onto the device's trace events.
+    ctx: Any = None
     #: Filled in by the device at completion time (virtual seconds).
     submitted_at: Optional[float] = None
     completed_at: Optional[float] = None

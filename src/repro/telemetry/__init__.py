@@ -35,10 +35,19 @@ from repro.telemetry.registry import (
     NullRegistry,
     percentile_of,
 )
+from repro.telemetry.context import (
+    ADMISSION_CTX,
+    CHECKPOINT_CTX,
+    CLEANER_CTX,
+    EVICTION_CTX,
+    RECOVERY_CTX,
+    TraceContext,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     NullTracer,
     TRACE_PID,
+    TRUNCATION_EVENT,
     TraceEvent,
     Tracer,
 )
@@ -74,6 +83,11 @@ class NullTelemetry:
 NULL_TELEMETRY = NullTelemetry()
 
 __all__ = [
+    "ADMISSION_CTX",
+    "CHECKPOINT_CTX",
+    "CLEANER_CTX",
+    "EVICTION_CTX",
+    "RECOVERY_CTX",
     "Counter",
     "Gauge",
     "Histogram",
@@ -89,7 +103,9 @@ __all__ = [
     "NullTelemetry",
     "NullTracer",
     "TRACE_PID",
+    "TRUNCATION_EVENT",
     "Telemetry",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "percentile_of",

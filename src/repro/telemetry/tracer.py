@@ -23,8 +23,24 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, List, Optional
 
+from repro.telemetry.context import TraceContext
+
 #: Synthetic pid for Chrome trace output (one simulated process).
 TRACE_PID = 1
+
+#: Event name of the truncation marker appended to exports when events
+#: were dropped past ``max_events`` (consumed by ``repro analyze``).
+TRUNCATION_EVENT = "trace_truncated"
+
+
+def _merge_ctx(args: Optional[dict],
+               ctx: Optional[TraceContext]) -> Optional[dict]:
+    """Fold a trace context's attribution fields into event args."""
+    if ctx is None:
+        return args
+    merged = dict(args) if args else {}
+    merged.update(ctx.to_args())
+    return merged
 
 
 class TraceEvent:
@@ -55,17 +71,24 @@ class TraceEvent:
 
 
 class _Span:
-    """Context manager recording one complete ("X") event on exit."""
+    """Context manager recording one complete ("X") event on exit.
 
-    __slots__ = ("_tracer", "name", "cat", "track", "args", "start")
+    An exceptional exit is still recorded (the time was spent), but the
+    event is tagged with the exception type (``args["error"]``) so
+    failed operations are distinguishable in traces and in
+    ``repro analyze``.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "track", "args", "ctx", "start")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, track: str,
-                 args: Optional[dict]):
+                 args: Optional[dict], ctx: Optional[TraceContext] = None):
         self._tracer = tracer
         self.name = name
         self.cat = cat
         self.track = track
         self.args = args
+        self.ctx = ctx
         self.start = 0.0
 
     def set(self, **more) -> None:
@@ -79,8 +102,10 @@ class _Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.set(error=exc_type.__name__)
         self._tracer.complete(self.name, self.start, self._tracer._clock(),
-                              self.cat, self.track, self.args)
+                              self.cat, self.track, self.args, ctx=self.ctx)
         return False
 
 
@@ -125,22 +150,25 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def instant(self, name: str, cat: str = "event", track: str = "main",
-                args: Optional[dict] = None) -> None:
+                args: Optional[dict] = None,
+                ctx: Optional[TraceContext] = None) -> None:
         """Record a point-in-time event at the current clock."""
         self._record(TraceEvent(name, cat, "i", self._clock(),
-                                track=track, args=args))
+                                track=track, args=_merge_ctx(args, ctx)))
 
     def complete(self, name: str, start: float, end: float,
                  cat: str = "span", track: str = "main",
-                 args: Optional[dict] = None) -> None:
+                 args: Optional[dict] = None,
+                 ctx: Optional[TraceContext] = None) -> None:
         """Record a finished operation spanning ``[start, end]``."""
         self._record(TraceEvent(name, cat, "X", start, dur=end - start,
-                                track=track, args=args))
+                                track=track, args=_merge_ctx(args, ctx)))
 
     def span(self, name: str, cat: str = "span", track: str = "main",
-             args: Optional[dict] = None) -> _Span:
+             args: Optional[dict] = None,
+             ctx: Optional[TraceContext] = None) -> _Span:
         """Context manager measuring a block as one complete event."""
-        return _Span(self, name, cat, track, args)
+        return _Span(self, name, cat, track, args, ctx)
 
     def counter(self, name: str, values: Dict[str, float],
                 track: str = "counters") -> None:
@@ -167,6 +195,9 @@ class Tracer:
         metadata events.
         """
         tracks = self._track_ids()
+        marker = self._truncation_event()
+        if marker is not None and marker.track not in tracks:
+            tracks[marker.track] = len(tracks) + 1
         trace_events: List[dict] = [{
             "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,
             "args": {"name": "repro"},
@@ -176,7 +207,10 @@ class Tracer:
                 "name": "thread_name", "ph": "M", "pid": TRACE_PID,
                 "tid": tid, "args": {"name": track},
             })
-        for event in self.events:
+        exported = list(self.events)
+        if marker is not None:
+            exported.append(marker)
+        for event in exported:
             out = {
                 "name": event.name,
                 "cat": event.cat,
@@ -194,16 +228,34 @@ class Tracer:
             trace_events.append(out)
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
+    def _truncation_event(self) -> Optional[TraceEvent]:
+        """Metadata instant flagging dropped events, or None if complete."""
+        if not self.dropped:
+            return None
+        last_ts = self.events[-1].ts if self.events else 0.0
+        return TraceEvent(TRUNCATION_EVENT, "meta", "i", last_ts,
+                          track="meta",
+                          args={"dropped": self.dropped,
+                                "max_events": self.max_events})
+
     def write_chrome(self, path: str) -> None:
         """Write the Chrome trace JSON to ``path``."""
         with open(path, "w") as fh:
             json.dump(self.to_chrome(), fh)
 
     def write_jsonl(self, path: str) -> None:
-        """Write one JSON object per event to ``path``."""
+        """Write one JSON object per event to ``path``.
+
+        A truncated trace ends with a ``trace_truncated`` metadata line so
+        consumers can tell the export is incomplete.
+        """
+        marker = self._truncation_event()
         with open(path, "w") as fh:
             for event in self.events:
                 fh.write(json.dumps(event.to_dict()))
+                fh.write("\n")
+            if marker is not None:
+                fh.write(json.dumps(marker.to_dict()))
                 fh.write("\n")
 
 
@@ -242,14 +294,16 @@ class NullTracer:
     def set_clock(self, clock) -> None:
         pass
 
-    def instant(self, name, cat="event", track="main", args=None) -> None:
+    def instant(self, name, cat="event", track="main", args=None,
+                ctx=None) -> None:
         pass
 
     def complete(self, name, start, end, cat="span", track="main",
-                 args=None) -> None:
+                 args=None, ctx=None) -> None:
         pass
 
-    def span(self, name, cat="span", track="main", args=None) -> _NullSpan:
+    def span(self, name, cat="span", track="main", args=None,
+             ctx=None) -> _NullSpan:
         return _NULL_SPAN
 
     def counter(self, name, values, track="counters") -> None:

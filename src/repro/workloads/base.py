@@ -5,6 +5,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry import NULL_TELEMETRY, TraceContext
+
 
 class Transaction:
     """Collects a transaction's page operations and commits via the WAL.
@@ -20,29 +22,46 @@ class Transaction:
     commit batches concurrent forcers) and, if the workload keeps a
     committed-state oracle, publishes the written versions into it — the
     ground truth the crash-recovery tests verify against.
+
+    When tracing is enabled, the transaction carries a
+    :class:`~repro.telemetry.TraceContext` (``txn_type`` names the
+    workload's transaction kind) so every wait and I/O it causes is
+    attributed to it, and ``commit`` records the transaction's own span
+    on the ``txn`` track — ``repro analyze`` reconstructs per-transaction
+    waterfalls from these.
     """
 
     _next_id = 0
 
-    def __init__(self, system, oracle: Optional[Dict[int, int]] = None):
+    def __init__(self, system, oracle: Optional[Dict[int, int]] = None,
+                 txn_type: str = "txn"):
         self.system = system
         self.oracle = oracle
         Transaction._next_id += 1
         self.txn_id = Transaction._next_id
+        self.txn_type = txn_type
         self.last_lsn = -1
         self.writes: List[Tuple[int, int]] = []
+        telemetry = getattr(system, "telemetry", NULL_TELEMETRY)
+        self._tracer = (telemetry or NULL_TELEMETRY).tracer
+        self.ctx: Optional[TraceContext] = None
+        if self._tracer.enabled:
+            self.ctx = TraceContext.for_txn(self.txn_id, txn_type)
+        # In the simulation a transaction starts executing at the virtual
+        # instant it is constructed (no yields in between).
+        self._started = self._tracer.now
 
     def read(self, page_id: int):
         """Process step: read one page (fetch + unpin)."""
         bp = self.system.bp
-        frame = yield from bp.fetch(page_id)
+        frame = yield from bp.fetch(page_id, ctx=self.ctx)
         bp.unpin(frame)
         return frame
 
     def update(self, page_id: int):
         """Process step: read-modify-write one page."""
         bp = self.system.bp
-        frame = yield from bp.fetch(page_id)
+        frame = yield from bp.fetch(page_id, ctx=self.ctx)
         self.last_lsn = bp.mark_dirty(frame, txn_id=self.txn_id)
         self.writes.append((frame.page_id, frame.version))
         bp.unpin(frame)
@@ -50,12 +69,12 @@ class Transaction:
 
     def index_lookup(self, tree, key: int):
         """Process step: B+-tree point lookup."""
-        return (yield from tree.lookup(self.system.bp, key))
+        return (yield from tree.lookup(self.system.bp, key, ctx=self.ctx))
 
     def index_update(self, tree, key: int):
         """Process step: B+-tree in-place update (dirties the leaf)."""
         bp = self.system.bp
-        frame, leaf = yield from tree._fetch_leaf_frame(bp, key)
+        frame, leaf = yield from tree._fetch_leaf_frame(bp, key, ctx=self.ctx)
         self.last_lsn = bp.mark_dirty(frame, txn_id=self.txn_id)
         self.writes.append((frame.page_id, frame.version))
         bp.unpin(frame)
@@ -63,7 +82,7 @@ class Transaction:
     def index_insert(self, tree, key: int):
         """Process step: B+-tree insert (may split pages)."""
         inserted = yield from tree.insert(self.system.bp, key,
-                                          txn_id=self.txn_id)
+                                          txn_id=self.txn_id, ctx=self.ctx)
         if inserted:
             self.last_lsn = max(self.last_lsn, self.system.wal.tail_lsn)
         return inserted
@@ -71,11 +90,16 @@ class Transaction:
     def commit(self):
         """Process step: force the log through this transaction's tail."""
         if self.last_lsn >= 0:
-            yield from self.system.wal.force(self.last_lsn)
+            yield from self.system.wal.force(self.last_lsn, ctx=self.ctx)
             if self.oracle is not None:
                 for page_id, version in self.writes:
                     if version > self.oracle.get(page_id, -1):
                         self.oracle[page_id] = version
+        if self.ctx is not None:
+            self._tracer.complete(self.txn_type, self._started,
+                                  self._tracer.now, "txn", "txn",
+                                  {"writes": len(self.writes)},
+                                  ctx=self.ctx)
 
 
 class AppendRegion:

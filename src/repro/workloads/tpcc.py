@@ -121,7 +121,7 @@ class TpccWorkload:
         return name, getattr(self, "_" + name)(rng, system)
 
     def _new_order(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="new_order")
         yield from txn.update(self._district_page(rng))  # next order id
         yield from txn.index_lookup(self.customer, self._customer_key(rng))
         for _ in range(5):  # order lines (scaled from TPC-C's ~10)
@@ -141,7 +141,7 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _payment(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="payment")
         yield from txn.update(self._district_page(rng))
         key = self._customer_key(rng)
         yield from txn.index_lookup(self.customer, key)
@@ -150,7 +150,7 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _order_status(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="order_status")
         yield from txn.index_lookup(self.customer, self._customer_key(rng))
         for _ in range(3):
             yield from txn.index_lookup(self.orders,
@@ -158,7 +158,7 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _delivery(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="delivery")
         for _ in range(5):  # scaled from TPC-C's 10 districts
             yield from txn.index_update(self.orders,
                                         self._recent_order_key(rng))
@@ -167,7 +167,7 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _stock_level(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="stock_level")
         yield from txn.read(self._district_page(rng))
         for _ in range(10):
             yield from txn.index_lookup(self.stock, self._stock_key(rng))

@@ -107,7 +107,7 @@ class TpceWorkload:
 
     def _trade_result(self, rng: random.Random, system):
         """The measured transaction: settle a trade (read + update)."""
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="trade_result")
         key = self._trade_key(rng)
         yield from txn.index_lookup(self.trade, key)
         yield from txn.index_update(self.trade, key)
@@ -120,33 +120,33 @@ class TpceWorkload:
         yield from txn.commit()
 
     def _trade_order(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="trade_order")
         yield from txn.index_lookup(self.customer, self._customer_key(rng))
         yield from txn.read(self._security_page(rng))
         yield from txn.index_update(self.trade, self._trade_key(rng))
         yield from txn.commit()
 
     def _trade_lookup(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="trade_lookup")
         for _ in range(4):
             yield from txn.index_lookup(self.trade, self._trade_key(rng))
         yield from txn.commit()
 
     def _customer_position(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="customer_position")
         yield from txn.index_lookup(self.customer, self._customer_key(rng))
         for _ in range(4):
             yield from txn.index_lookup(self.holding, self._holding_key(rng))
         yield from txn.commit()
 
     def _market_watch(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="market_watch")
         for _ in range(5):
             yield from txn.read(self._security_page(rng))
         yield from txn.commit()
 
     def _security_detail(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="security_detail")
         yield from txn.read(self._security_page(rng))
         yield from txn.index_lookup(self.trade, self._trade_key(rng))
         yield from txn.commit()

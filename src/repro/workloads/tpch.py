@@ -168,11 +168,12 @@ class TpchWorkload:
 
     def run_query(self, system, profile: QueryProfile, rng: random.Random):
         """Process step: execute one query template."""
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle,
+                          txn_type=f"q{profile.number}")
         for table_name, fraction in profile.scans:
             table = self.tables[table_name]
             npages = max(1, int(table.npages * fraction))
-            yield from table.scan(system.bp, npages=npages)
+            yield from table.scan(system.bp, npages=npages, ctx=txn.ctx)
         nlookups = int(profile.li_lookup_fraction * self._li_pages)
         keys = [rng.randrange(self._li_pages) for _ in range(nlookups)]
         for start in range(0, nlookups, self.lookup_parallelism):
@@ -193,7 +194,7 @@ class TpchWorkload:
     def refresh(self, system, rng: random.Random):
         """Process step: one RF1+RF2 pair (inserts then deletes ≈ 0.1%
         of ORDERS and LINEITEM pages dirtied)."""
-        txn = Transaction(system, self.oracle)
+        txn = Transaction(system, self.oracle, txn_type="refresh")
         for table_name in ("orders", "lineitem"):
             table = self.tables[table_name]
             touched = max(1, table.npages // 1000)

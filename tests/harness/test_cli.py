@@ -105,3 +105,69 @@ class TestTelemetryFlags:
         captured = capsys.readouterr()
         assert "Metrics" not in captured.out
         assert "trace events" not in captured.err
+
+    def test_trace_jsonl_extension_selects_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                     "--profile", "tiny", "--duration", "3",
+                     "--designs", "LC", "--trace", str(trace)])
+        assert code == 0
+        first = trace.read_text().splitlines()[0]
+        event = json.loads(first)
+        assert "track" in event  # JSONL line shape, not Chrome JSON
+
+
+@pytest.fixture(scope="module")
+def traced_pair(tmp_path_factory):
+    """Two per-design JSONL traces from one short CW-vs-LC run."""
+    trace = tmp_path_factory.mktemp("traces") / "run.jsonl"
+    code = main(["oltp", "--benchmark", "tpcc", "--scale", "100",
+                 "--profile", "tiny", "--duration", "4", "--workers", "4",
+                 "--designs", "CW,LC", "--trace", str(trace)])
+    assert code == 0
+    return [str(trace.parent / f"run-{d}.jsonl") for d in ("CW", "LC")]
+
+
+class TestAnalyzeCommand:
+    def test_prints_attribution_table(self, traced_pair, capsys):
+        assert main(["analyze"] + traced_pair) == 0
+        out = capsys.readouterr().out
+        assert "Tail-latency attribution" in out
+        for token in ("CW", "LC", "p50", "p95", "p99", "coverage"):
+            assert token in out
+
+    def test_writes_html_report(self, traced_pair, capsys, tmp_path):
+        report = tmp_path / "report.html"
+        assert main(["analyze", *traced_pair, "--html", str(report)]) == 0
+        text = report.read_text()
+        assert text.startswith("<!doctype html>")
+        assert text.count("<svg") >= 3
+
+    def test_writes_valid_bench_snapshot(self, traced_pair, capsys,
+                                         tmp_path):
+        from repro.telemetry.analysis import validate_bench
+        bench = tmp_path / "BENCH_oltp.json"
+        assert main(["analyze", *traced_pair, "--bench", str(bench),
+                     "--workload", "oltp"]) == 0
+        doc = json.loads(bench.read_text())
+        assert validate_bench(doc) == []
+        assert set(doc["designs"]) == {"CW", "LC"}
+
+    def test_txn_type_filter(self, traced_pair, capsys):
+        assert main(["analyze", traced_pair[0],
+                     "--txn-type", "new_order"]) == 0
+        assert "new_order" in capsys.readouterr().out
+
+    def test_missing_trace_fails_fast(self, capsys):
+        assert main(["analyze", "/no/such/trace.jsonl"]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_bad_tail_rejected(self, traced_pair, capsys):
+        assert main(["analyze", traced_pair[0], "--tail", "p99"]) == 2
+        assert "--tail" in capsys.readouterr().err
+
+    def test_garbage_trace_rejected(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not a trace\n")
+        assert main(["analyze", str(bad)]) == 2
+        assert "analyze:" in capsys.readouterr().err

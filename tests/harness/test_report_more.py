@@ -1,6 +1,13 @@
 """Additional rendering tests for the report module."""
 
-from repro.harness.report import format_series, format_speedups, format_table
+import pytest
+
+from repro.harness.report import (
+    downsample_series,
+    format_series,
+    format_speedups,
+    format_table,
+)
 
 
 class TestFormatTable:
@@ -19,6 +26,19 @@ class TestFormatTable:
         text = format_table("T", ["x", "y"], [[1.5, None], ["s", 2]])
         assert "None" in text and "1.5" in text
 
+    def test_ragged_rows_padded(self):
+        # Regression: a row with fewer cells than headers used to raise
+        # IndexError while computing column widths.
+        text = format_table("T", ["a", "b", "c"], [[1, 2, 3], [4], []])
+        lines = text.splitlines()
+        assert len(lines) == 7
+        assert "4" in lines[-2]
+
+    def test_ragged_rows_keep_alignment(self):
+        text = format_table("T", ["left", "right"], [["x"], ["yy", "zz"]])
+        header, rule = text.splitlines()[2:4]
+        assert all(len(line) <= len(rule) for line in text.splitlines()[2:])
+
 
 class TestFormatSeries:
     def test_peak_gets_full_bar(self):
@@ -35,6 +55,43 @@ class TestFormatSeries:
         text = format_series("S", [(0.0, 1.0)], time_label="hour",
                              value_label="tpmC")
         assert "hour" in text and "tpmC" in text
+
+    def test_long_series_downsampled_to_bounded_rows(self):
+        series = [(float(i), float(i)) for i in range(1000)]
+        text = format_series("S", series)
+        # title + rule + header + <=40 rows + downsample note
+        assert len(text.splitlines()) <= 44
+        assert "1000 samples" in text
+
+    def test_short_series_not_downsampled(self):
+        series = [(float(i), 1.0) for i in range(10)]
+        text = format_series("S", series)
+        assert len(text.splitlines()) == 3 + 10
+        assert "samples" not in text
+
+
+class TestDownsampleSeries:
+    def test_identity_when_short(self):
+        series = [(0.0, 1.0), (1.0, 2.0)]
+        assert downsample_series(series, max_rows=40) == series
+
+    def test_bounded_and_bucket_averaged(self):
+        series = [(float(i), float(i)) for i in range(100)]
+        out = downsample_series(series, max_rows=10)
+        assert len(out) == 10
+        # First bucket holds samples 0..9: starts at t=0, mean 4.5.
+        assert out[0] == (0.0, pytest.approx(4.5))
+        assert out[-1] == (90.0, pytest.approx(94.5))
+
+    def test_mean_preserved(self):
+        series = [(float(i), float(i % 7)) for i in range(70)]
+        out = downsample_series(series, max_rows=10)
+        assert (sum(v for _, v in out) / len(out)
+                == pytest.approx(sum(v for _, v in series) / len(series)))
+
+    def test_rejects_nonpositive_max_rows(self):
+        with pytest.raises(ValueError):
+            downsample_series([(0.0, 1.0)], max_rows=0)
 
 
 class TestFormatSpeedups:

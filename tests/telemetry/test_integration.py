@@ -92,6 +92,60 @@ class TestMetricsAgreeWithStats:
                 == result.system.bp.used)
 
 
+class TestAttributionCoverage:
+    """The tentpole acceptance check: the ctx-tagged leaf spans must
+    partition each transaction's latency (sum within 5% of measured)."""
+
+    @pytest.fixture(scope="class")
+    def analysis(self, traced_run, tmp_path_factory):
+        from repro.telemetry.analysis import analyze_trace
+        telemetry, _ = traced_run
+        path = tmp_path_factory.mktemp("analysis") / "trace.jsonl"
+        telemetry.tracer.write_jsonl(str(path))
+        return analyze_trace(str(path))
+
+    def test_transactions_reconstructed(self, analysis):
+        assert len(analysis.txns) > 100
+        assert "new_order" in analysis.txn_types()
+
+    def test_component_sums_match_latency_at_every_tail(self, analysis):
+        for q in (50, 95, 99):
+            att = analysis.attribution(q)
+            assert att.count > 0
+            assert att.coverage == pytest.approx(1.0, abs=0.05), (
+                f"p{q}: components sum to {att.coverage:.1%} of latency")
+
+    def test_latency_agrees_with_the_runner(self, traced_run, analysis):
+        _, result = traced_run
+        # The trace sees every committed transaction; the runner only
+        # counts bodies that finished before cutoff, so the two agree
+        # within the number of in-flight clients (plus setup txns).
+        assert abs(len(analysis.txns) - result.latencies.count()) <= 64
+        p99_trace = analysis.latency_summary()["p99"]
+        p99_runner = result.latencies.percentile(99)
+        assert p99_trace == pytest.approx(p99_runner, rel=0.25)
+
+    def test_device_time_mostly_attributed(self, analysis):
+        # Nearly every data/SSD device I/O carries a txn or a background
+        # origin.  The exceptions are by design: WAL flush writes belong
+        # to the group-commit flusher, and read-ahead's inner parallel
+        # I/Os stay ctx-less (the outer prefetch_wait span holds the ctx
+        # so overlapping device time is not double-attributed).
+        from repro.telemetry.analysis import load_events
+        events = load_events(analysis.path)
+        device = [e for e in events
+                  if e.get("track", "").startswith("device:")
+                  and e.get("track") != "device:log-disk"]
+        attributed = [e for e in device
+                      if {"txn", "origin"} & set(e.get("args") or {})]
+        assert device
+        assert len(attributed) >= 0.9 * len(device)
+
+    def test_cleaner_interference_measured_for_lc(self, analysis):
+        assert "cleaner" in analysis.background_io
+        assert 0.0 < analysis.interference_share("cleaner") < 1.0
+
+
 class TestDisabledRunStaysDark:
     def test_no_registry_rows_without_telemetry(self):
         result = run_oltp_experiment(

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.telemetry import TRACE_PID, Tracer
+from repro.telemetry import TRACE_PID, TRUNCATION_EVENT, Tracer
 
 
 class FakeClock:
@@ -106,6 +106,19 @@ class TestSpans:
                 raise RuntimeError("boom")
         assert len(tracer.events) == 1
 
+    def test_exceptional_exit_tags_error_type(self, tracer, clock):
+        with pytest.raises(KeyError):
+            with tracer.span("doomed", args={"page": 5}):
+                raise KeyError("missing")
+        (event,) = tracer.events
+        assert event.args == {"page": 5, "error": "KeyError"}
+
+    def test_clean_exit_carries_no_error_tag(self, tracer):
+        with tracer.span("fine", args={"page": 5}):
+            pass
+        (event,) = tracer.events
+        assert "error" not in event.args
+
 
 class TestChromeExport:
     def _trace(self, tracer, clock):
@@ -177,3 +190,40 @@ class TestJsonlExport:
         assert lines[0]["args"] == {"k": 1}
         assert lines[1]["dur"] == 1.0
         assert "dur" not in lines[0]  # instants carry no duration
+
+
+class TestTruncationMarker:
+    def _truncated_tracer(self, clock, events=5, cap=2):
+        tracer = Tracer(clock=clock, max_events=cap)
+        for i in range(events):
+            clock.t = float(i)
+            tracer.instant("e")
+        return tracer
+
+    def test_jsonl_ends_with_marker(self, clock, tmp_path):
+        tracer = self._truncated_tracer(clock)
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        marker = lines[-1]
+        assert marker["name"] == TRUNCATION_EVENT
+        assert marker["cat"] == "meta"
+        assert marker["args"] == {"dropped": 3, "max_events": 2}
+        assert marker["ts"] == tracer.events[-1].ts
+
+    def test_chrome_export_carries_marker_on_named_track(self, clock):
+        tracer = self._truncated_tracer(clock)
+        events = tracer.to_chrome()["traceEvents"]
+        marker = next(e for e in events if e["name"] == TRUNCATION_EVENT)
+        assert marker["args"]["dropped"] == 3
+        thread_names = {e["tid"]: e["args"]["name"] for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert thread_names[marker["tid"]] == "meta"
+
+    def test_complete_trace_has_no_marker(self, tracer, clock, tmp_path):
+        tracer.instant("only")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        assert TRUNCATION_EVENT not in path.read_text()
+        chrome = tracer.to_chrome()["traceEvents"]
+        assert all(e["name"] != TRUNCATION_EVENT for e in chrome)
