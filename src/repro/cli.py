@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from repro.core import DESIGNS
+from repro.faults import FaultPlan
 from repro.harness.experiments import (
     SCALE_PROFILES,
     run_oltp_experiment,
@@ -130,17 +131,38 @@ def cmd_oltp(args) -> int:
     if error:
         print(error, file=sys.stderr)
         return 2
+    if args.faults:
+        # Validate the plan grammar before burning a whole run on a typo.
+        try:
+            FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"--faults: {exc}", file=sys.stderr)
+            return 2
     profile = SCALE_PROFILES[args.profile]
     results = {}
     for design in designs:
         telemetry = _make_telemetry(args)
+        # Each design gets its own plan instance: injectors bind to one
+        # system's devices.
+        faults = FaultPlan.parse(args.faults) if args.faults else None
         results[design] = run_oltp_experiment(
             args.benchmark, args.scale, design, duration=args.duration,
             profile=profile, nworkers=args.workers,
             dirty_threshold=args.dirty_threshold,
             checkpoint_interval=args.checkpoint_interval,
-            telemetry=telemetry)
+            telemetry=telemetry, faults=faults)
         print(f"ran {design}", file=sys.stderr)
+        system = results[design].system
+        if faults:
+            injected = {
+                role: dict(inj.stats)
+                for role, inj in sorted(faults.injectors.items()) if inj.stats}
+            detached = system.ssd_manager.detached
+            print(f"faults[{design}]: injected={injected} "
+                  f"ssd_detached={detached} "
+                  f"retries={system.ssd_manager.stats.io_retries} "
+                  f"degrade_redo={system.ssd_manager.stats.detach_redo_pages}",
+                  file=sys.stderr)
         _emit_telemetry(args, design, telemetry, len(designs) > 1)
     throughputs = {d: r.steady_state_throughput()
                    for d, r in results.items()}
@@ -164,6 +186,38 @@ def cmd_oltp(args) -> int:
         ["design", metric, "speedup", "SSD hit", "SSD used", "SSD dirty"],
         rows))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the crash-point sweep and report per-design/policy outcomes."""
+    from repro.harness.crashpoints import (
+        CrashSweepConfig,
+        crash_point_sweep,
+        format_sweep_table,
+    )
+
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = [d for d in designs if d not in DESIGNS]
+    if unknown:
+        print(f"unknown designs: {unknown}; try `python -m repro designs`",
+              file=sys.stderr)
+        return 2
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    bad = [p for p in policies if p not in ("sharp", "fuzzy")]
+    if bad:
+        print(f"unknown checkpoint policies: {bad} (sharp|fuzzy)",
+              file=sys.stderr)
+        return 2
+    cfg = CrashSweepConfig(
+        designs=designs, policies=policies, points=args.points,
+        seed=args.seed, duration=args.duration,
+        checkpoint_interval=args.checkpoint_interval)
+    result = crash_point_sweep(cfg)
+    print(format_sweep_table(result))
+    total = len(result.outcomes)
+    failed = len(result.failures)
+    print(f"{total} crash points, {failed} failed", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_tpch(args) -> int:
@@ -196,6 +250,7 @@ def cmd_analyze(args) -> int:
         analyze_traces,
         bench_snapshot,
         format_attribution_table,
+        format_faults_table,
         format_interference_table,
         validate_bench,
     )
@@ -235,6 +290,9 @@ def cmd_analyze(args) -> int:
     if any(a.background_io for a in analyses):
         print()
         print(format_interference_table(analyses))
+    if any(a.faults for a in analyses):
+        print()
+        print(format_faults_table(analyses))
 
     if args.html:
         from repro.telemetry.htmlreport import write_report
@@ -284,8 +342,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="LC lambda (default: the paper's per-benchmark value)")
     p_oltp.add_argument("--checkpoint-interval", type=float, default=None,
                         help="virtual seconds between checkpoints")
+    p_oltp.add_argument("--faults", default=None, metavar="PLAN",
+                        help="fault plan, e.g. "
+                             "'ssd_die@t=30,transient:p=0.001' "
+                             "(see repro.faults.plan for the grammar)")
     _add_common(p_oltp)
     p_oltp.set_defaults(func=cmd_oltp)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="crash-point sweep: crash, recover, verify")
+    p_chaos.add_argument("--points", type=int, default=5,
+                         help="crash points per design x policy (default 5)")
+    p_chaos.add_argument("--designs", default="CW,DW,LC,TAC")
+    p_chaos.add_argument("--policies", default="sharp,fuzzy",
+                         help="comma-separated checkpoint policies")
+    p_chaos.add_argument("--seed", type=int, default=20110612)
+    p_chaos.add_argument("--duration", type=float, default=8.0,
+                         help="crash-window length in virtual seconds")
+    p_chaos.add_argument("--checkpoint-interval", type=float, default=1.0)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_tpch = sub.add_parser("tpch", help="run TPC-H power+throughput tests")
     p_tpch.add_argument("--sf", type=int, choices=(30, 100), default=30)

@@ -20,11 +20,12 @@ and no new dirty pages are cached while one is in progress (§3.2).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.core.ssd_buffer_table import SsdRecord
 from repro.core.ssd_manager import SsdManagerBase
 from repro.engine.page import Frame
+from repro.faults.errors import IoFault
 from repro.telemetry import CLEANER_CTX, EVICTION_CTX
 
 
@@ -33,11 +34,20 @@ class LazyCleaningManager(SsdManagerBase):
 
     name = "LC"
 
+    #: Empty drain rounds between dirty-heap reseed attempts, and the
+    #: consecutive-empty-round budget before declaring the drain stalled.
+    _RESEED_AFTER = 3
+    _STALL_LIMIT = 64
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._cleaner_started = False
         self._cleaner_wakeup = None
         self._above_lambda = False
+        #: SSD frame slots with a clean-back transfer in flight; their
+        #: records are legitimately absent from the dirty heap and must
+        #: not be re-seeded into it.
+        self._cleaning_frames: Set[int] = set()
         registry = self.telemetry.registry
         self._tm_cleaner_rounds = registry.counter(
             "lc_cleaner_rounds_total", "Group-clean batches the LC cleaner ran")
@@ -111,11 +121,16 @@ class LazyCleaningManager(SsdManagerBase):
 
     def _cleaner_loop(self):
         while True:
+            if self._detach_started:
+                return  # the SSD died; detach empties the table
             if self.table.dirty_count <= self.config.dirty_limit_frames:
                 self._cleaner_wakeup = self.env.event()
                 yield self._cleaner_wakeup
             target = self.config.clean_target_frames
+            empty_rounds = 0
             while self.table.dirty_count > target:
+                if self._detach_started:
+                    return
                 # Keep several group-clean batches in flight: a serial
                 # cleaner is capped at one page per disk-write latency and
                 # silently turns λ into "never" under load.
@@ -127,8 +142,12 @@ class LazyCleaningManager(SsdManagerBase):
                 if not batches:
                     break
                 results = yield self.env.all_of(batches)
-                if not any(results.values()):
+                if any(results.values()):
+                    empty_rounds = 0
+                else:
                     # Nothing cleanable right now; yield and retry.
+                    empty_rounds += 1
+                    self._note_drain_stall(empty_rounds)
                     yield self.env.timeout(0.001)
 
     def _clean_batch(self):
@@ -150,17 +169,34 @@ class LazyCleaningManager(SsdManagerBase):
         versions = [record.version for record in group]
         captured = [(record, record.page_id, record.version)
                     for record in group]
-        # SSD -> memory: one read per page (they are scattered on the SSD).
-        # These are transfer reads, not page accesses: the LRU-2 history
-        # of the records must not be touched.
-        reads = [
-            self.env.process(self._raw_ssd_read(record.frame_no))
-            for record in group
-        ]
-        yield self.env.all_of(reads)
+        frames = [record.frame_no for record in group]
+        self._cleaning_frames.update(frames)
+        try:
+            # SSD -> memory: one read per page (they are scattered on the
+            # SSD).  These are transfer reads, not page accesses: the
+            # LRU-2 history of the records must not be touched.
+            reads = [
+                self.env.process(self._raw_ssd_read(record.frame_no))
+                for record in group
+            ]
+            results = yield self.env.all_of(reads)
+            if not all(results.values()):
+                # A read failed past the retry budget, or the device
+                # died: nothing was transferred.  Requeue for a later
+                # attempt (or for the detach redo) and report no
+                # progress.
+                self._requeue(captured)
+                return 0
+            try:
+                yield from self.disk.write_run(first, versions,
+                                               ctx=CLEANER_CTX)
+            except IoFault:
+                self._requeue(captured)
+                return 0
+        finally:
+            self._cleaning_frames.difference_update(frames)
         self.stats.cleaner_pages += len(group)
         self.stats.cleaner_ios += 1
-        yield from self.disk.write_run(first, versions, ctx=CLEANER_CTX)
         for record, page_id, version in captured:
             # Mark clean only if the record still describes the exact
             # page/version we wrote out — it may have been invalidated
@@ -179,6 +215,14 @@ class LazyCleaningManager(SsdManagerBase):
                               if self._tracer.enabled else None)
         self._note_lambda()
         return len(group)
+
+    def _requeue(self, captured) -> None:
+        """Put an unfinished batch's records back in the dirty heap."""
+        for record, page_id, version in captured:
+            if (record.valid and record.dirty
+                    and record.page_id == page_id
+                    and record.version == version):
+                self.dirty_heap.push(record)
 
     def _gather_group(self) -> List[SsdRecord]:
         """Oldest dirty page plus dirty neighbours at consecutive disk
@@ -212,8 +256,62 @@ class LazyCleaningManager(SsdManagerBase):
         return record if record is not None and record.dirty else None
 
     def _raw_ssd_read(self, frame_no: int):
-        """Transfer read for cleaning: no LRU-2 or hit accounting."""
-        yield self.device.read(frame_no, 1, random=True, ctx=CLEANER_CTX)
+        """Transfer read for cleaning: no LRU-2 or hit accounting.
+
+        Returns True on success so a batch can detect failed transfers."""
+        return (yield from self._ssd_read_frame(frame_no, ctx=CLEANER_CTX))
+
+    # ------------------------------------------------------------------
+    # Drain liveness (dirty-heap/table desync recovery)
+    # ------------------------------------------------------------------
+
+    def _note_drain_stall(self, empty_rounds: int) -> None:
+        """React to consecutive empty drain rounds.
+
+        Empty rounds are legitimate while other batches hold records in
+        flight (``_cleaning_frames``), but ``dirty_count > 0`` with an
+        empty dirty heap and *nothing* in flight means the heap and the
+        table have desynced — without intervention the drain loop would
+        busy-spin forever.  Every ``_RESEED_AFTER`` rounds the heap is
+        re-seeded from the table (the authoritative source); if that
+        finds nothing and nothing is in flight, the counters themselves
+        are inconsistent and we fail loudly rather than hang.
+        """
+        if empty_rounds % self._RESEED_AFTER != 0:
+            return
+        reseeded = self._reseed_dirty_heap()
+        if reseeded:
+            return
+        if not self._cleaning_frames and self.table.dirty_count > 0:
+            raise RuntimeError(
+                f"LC drain stalled: dirty_count={self.table.dirty_count} "
+                f"but no dirty records exist in the table and none are in "
+                f"flight — table/counter desync")
+        if empty_rounds >= self._STALL_LIMIT:
+            raise RuntimeError(
+                f"LC drain stalled: {empty_rounds} consecutive empty "
+                f"rounds with {len(self._cleaning_frames)} transfers "
+                f"still in flight")
+
+    def _reseed_dirty_heap(self) -> int:
+        """Re-push every table-dirty record absent from in-flight batches.
+
+        Duplicate pushes are harmless (the lazy heap re-validates on
+        pop).  Returns the number of records pushed; healthy runs never
+        get here, so the count doubles as a desync detector.
+        """
+        reseeded = 0
+        for record in self.table.occupied_records():
+            if (record.valid and record.dirty
+                    and record.frame_no not in self._cleaning_frames):
+                self.dirty_heap.push(record)
+                reseeded += 1
+        if reseeded:
+            self.stats.heap_reseeds += 1
+            if self._tracer.enabled:
+                self._tracer.instant("dirty_heap_reseed", "cleaner",
+                                     "cleaner", {"records": reseeded})
+        return reseeded
 
     # ------------------------------------------------------------------
     # Checkpoint integration (§3.2)
@@ -221,7 +319,14 @@ class LazyCleaningManager(SsdManagerBase):
 
     def on_checkpoint(self):
         """Flush *all* dirty SSD pages to disk (sharp checkpoint rule)."""
+        empty_rounds = 0
         while self.table.dirty_count > 0:
+            if self._detach_started:
+                # The SSD died mid-checkpoint; the detach redo makes the
+                # dirty pages durable on disk, which is all this phase
+                # needs.  Wait for it rather than racing it.
+                yield from self._await_detach()
+                break
             batches = [
                 self.env.process(self._clean_batch())
                 for _ in range(self.config.cleaner_concurrency)
@@ -230,4 +335,24 @@ class LazyCleaningManager(SsdManagerBase):
             cleaned = sum(results.values())
             self.stats.checkpoint_ssd_flushes += cleaned
             if cleaned == 0:
+                empty_rounds += 1
+                self._note_drain_stall(empty_rounds)
                 yield self.env.timeout(0.001)
+            else:
+                empty_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash_reset(self) -> None:
+        """Hard-crash restart: the cleaner process died with the event
+        queue; clear its in-flight bookkeeping and relaunch it (unless
+        the SSD is gone, in which case there is nothing to clean)."""
+        super().crash_reset()
+        self._cleaning_frames.clear()
+        self._cleaner_started = False
+        self._cleaner_wakeup = None
+        self._above_lambda = False
+        if not self.detached:
+            self.start_cleaner()

@@ -22,6 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence
 
+from repro.faults.errors import (
+    RETRY_BASE_DELAY,
+    RETRY_LIMIT,
+    RETRY_MAX_DELAY,
+    DeviceDeadError,
+    IoFault,
+)
 from repro.sim import Environment
 from repro.core.admission import AdmissionPolicy
 from repro.core.config import SsdDesignConfig
@@ -29,9 +36,19 @@ from repro.core.heaps import LazyMinHeap
 from repro.core.ssd_buffer_table import SsdBufferTable, SsdRecord
 from repro.engine.disk_manager import DiskManager
 from repro.engine.page import Frame
+from repro.engine.recovery import RecoveryError
 from repro.engine.wal import WriteAheadLog
 from repro.storage.ssd import Ssd
-from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX, NULL_TELEMETRY
+from repro.telemetry import (
+    CHECKPOINT_CTX,
+    EVICTION_CTX,
+    NULL_TELEMETRY,
+    RECOVERY_CTX,
+)
+
+#: Concurrent disk writes per wave during degradation redo (matches the
+#: checkpointer's FLUSH_BATCH).
+DEGRADE_BATCH = 32
 
 
 @dataclass
@@ -66,6 +83,11 @@ class SsdStats:
     checkpoint_ssd_flushes: int = 0  # dirty SSD pages flushed at checkpoints
     missed_dirty_writes: int = 0  # TAC: page dirtied before its SSD write
     lambda_crossings: int = 0   # LC: upward crossings of the λ threshold
+    io_retries: int = 0         # SSD I/Os retried after transient faults
+    io_failures: int = 0        # SSD I/Os abandoned (budget/device death)
+    throttle_preserved: int = 0  # existing copies kept through a declined admit
+    detach_redo_pages: int = 0  # dirty pages redone to disk at SSD death
+    heap_reseeds: int = 0       # LC dirty-heap reseeds (desync recovery)
 
 
 class SsdManagerBase:
@@ -95,6 +117,11 @@ class SsdManagerBase:
         self.dirty_heap = LazyMinHeap(
             key=lambda r: r.lru2_key(),
             member=lambda r: r.valid and r.dirty)
+        #: True once the SSD has been dropped from service (device death,
+        #: §2.4 degradation): the design continues as noSSD.
+        self.detached = False
+        self._detach_started = False
+        self._detach_complete = env.event()
         self.telemetry = telemetry or NULL_TELEMETRY
         registry = self.telemetry.registry
         self._tracer = self.telemetry.tracer
@@ -112,6 +139,12 @@ class SsdManagerBase:
         self._tm_fallback = registry.counter(
             "ssd_mgr_fallback_disk_writes_total",
             "Dirty evictions sent to disk instead of the SSD")
+        self._tm_retries = registry.counter(
+            "ssd_mgr_retries_total",
+            "SSD I/Os retried after transient failures")
+        self._tm_throttle_preserved = registry.counter(
+            "ssd_mgr_throttle_preserved_total",
+            "Existing SSD copies preserved through a declined admission")
         registry.gauge("ssd_used_frames", "Occupied SSD frames"
                        ).set_function(lambda: self.used_frames)
         registry.gauge("ssd_dirty_frames", "Dirty (newer-than-disk) SSD frames"
@@ -166,6 +199,68 @@ class SsdManagerBase:
         return self.device.pending > self.config.throttle_limit
 
     # ------------------------------------------------------------------
+    # Fault-hardened device access
+    # ------------------------------------------------------------------
+
+    def _ssd_io(self, submit, must: bool = False):
+        """Process step: one SSD I/O with bounded retry + backoff.
+
+        ``submit`` is a zero-argument callable returning a fresh device
+        event.  Returns True on success; False when the device died, or —
+        for optional I/Os (``must=False``) — when the retry budget ran
+        out.  A *must* I/O guards the only newest copy of a page: it
+        retries transients without bound (capped backoff) because falling
+        back to disk would surface stale data; only device death stops
+        it, and then degradation redo restores the page from the log.
+        """
+        delay = RETRY_BASE_DELAY
+        attempt = 0
+        while True:
+            try:
+                yield submit()
+                return True
+            except DeviceDeadError:
+                self._note_device_dead()
+                return False
+            except IoFault:
+                self.stats.io_retries += 1
+                self._tm_retries.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "io_retry", "fault", "faults",
+                        {"device": self.device.name, "attempt": attempt + 1})
+                if not must and attempt >= RETRY_LIMIT:
+                    self.stats.io_failures += 1
+                    return False
+                attempt += 1
+                yield self.env.timeout(delay)
+                delay = min(delay * 2, RETRY_MAX_DELAY)
+
+    def _ssd_read_frame(self, frame_no: int, must: bool = False, ctx=None):
+        """Process step: read one SSD frame; True on success."""
+        return (yield from self._ssd_io(
+            lambda: self.device.read(frame_no, 1, random=True, ctx=ctx),
+            must=must))
+
+    def _ssd_write_frame(self, frame_no: int, ctx=None):
+        """Process step: write one SSD frame; True on success.
+
+        SSD writes are always optional — the caller keeps (or falls back
+        to) the disk copy when the write is abandoned."""
+        return (yield from self._ssd_io(
+            lambda: self.device.write(frame_no, 1, random=True, ctx=ctx)))
+
+    def _note_device_dead(self) -> None:
+        """The SSD reported permanent death: start degradation once."""
+        if not self._detach_started:
+            self.env.process(self.detach())
+
+    def _await_detach(self):
+        """Process step: wait until an in-progress detach has finished."""
+        if not self._detach_complete.triggered:
+            yield self._detach_complete
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
 
@@ -173,8 +268,15 @@ class SsdManagerBase:
         """Process step: serve a buffer-pool miss from the SSD if possible.
 
         Returns the page version read, or None to fall back to disk
-        (page absent, or SSD throttled and the disk copy is just as new).
+        (page absent, SSD throttled and the disk copy is just as new, or
+        the SSD has been detached after a device failure).
         """
+        if self.detached:
+            # During an in-progress detach the disk may not yet hold the
+            # newest version (LC redo in flight): wait it out, then fall
+            # back to the now-authoritative disk.
+            yield from self._await_detach()
+            return None
         record = self.table.lookup_valid(page_id)
         if record is None:
             return None
@@ -198,7 +300,16 @@ class SsdManagerBase:
         self._tm_reads.inc()
         record.record_access(self.env.now)
         self._reheap(record)
-        yield self.device.read(record.frame_no, 1, random=True, ctx=ctx)
+        must = version > self.disk.disk_version(record.page_id)
+        ok = yield from self._ssd_read_frame(record.frame_no, must=must,
+                                             ctx=ctx)
+        if not ok:
+            # The device died (a must-read never gives up otherwise).
+            # Degradation redo writes any newer-than-disk copy back to
+            # disk before completing, so after the detach the caller's
+            # disk fallback reads fresh data.
+            yield from self._await_detach()
+            return None
         return version
 
     def _reheap(self, record: SsdRecord) -> None:
@@ -221,16 +332,25 @@ class SsdManagerBase:
         blocks truncation entirely until the page is cleaned).
         """
         existing = self.table.lookup_valid(page_id)
-        if existing is not None:
-            if existing.version == version and existing.dirty == dirty:
-                existing.record_access(self.env.now)
-                self._reheap(existing)
-                return True
-            self._drop_record(existing)
+        if existing is not None and (existing.version == version
+                                     and existing.dirty == dirty):
+            existing.record_access(self.env.now)
+            self._reheap(existing)
+            return True
+        if self.detached:
+            return False
         if self._throttled():
+            # Decline *before* touching the existing record: dropping a
+            # valid copy and then refusing to replace it would destroy
+            # data the throttle was only meant to defer.
             self.stats.declined_throttle += 1
             self._tm_declined.inc()
+            if existing is not None:
+                self.stats.throttle_preserved += 1
+                self._tm_throttle_preserved.inc()
             return False
+        if existing is not None:
+            self._drop_record(existing)
         record = self.table.take_free()
         if record is None:
             record = self._evict_for_space()
@@ -244,7 +364,15 @@ class SsdManagerBase:
         if self._tracer.enabled:
             self._tracer.instant("admit", "ssd", "ssd_manager",
                                  {"page": page_id, "dirty": dirty})
-        yield self.device.write(record.frame_no, 1, random=True, ctx=ctx)
+        ok = yield from self._ssd_write_frame(record.frame_no, ctx=ctx)
+        if not ok:
+            # The image never reached the SSD: the record must not claim
+            # it did.  Guard against the record having been invalidated
+            # or reused while the failed write (and retries) ran.
+            if (record.valid and record.page_id == page_id
+                    and record.version == version):
+                self._drop_record(record)
+            return False
         return True
 
     def _evict_for_space(self) -> Optional[SsdRecord]:
@@ -279,6 +407,16 @@ class SsdManagerBase:
         this point; if the SSD already holds the identical copy nothing
         is written.
         """
+        if self.detached:
+            # Degraded to noSSD.  A clean frame can still be newer than
+            # disk (it was read from an SSD copy the degradation redo is
+            # flushing, or already flushed); a redundant disk write is
+            # monotone-safe and keeps this path self-contained.
+            if frame.version > self.disk.disk_version(frame.page_id):
+                yield from self.disk.write(frame.page_id, frame.version,
+                                           sequential=False,
+                                           ctx=EVICTION_CTX)
+            return
         existing = self.table.lookup_valid(frame.page_id)
         if existing is not None:
             # Figure 3 invariant: a page valid in memory and the SSD has
@@ -373,18 +511,125 @@ class SsdManagerBase:
         return
         yield  # pragma: no cover - makes this a generator
 
+    # ------------------------------------------------------------------
+    # Graceful degradation on SSD death (§2.4)
+    # ------------------------------------------------------------------
+
+    def detach(self, reason: str = "ssd_failure"):
+        """Process step: drop the SSD from service and continue as noSSD.
+
+        For CW/DW/TAC every committed page version already exists on
+        disk, so detaching is just forgetting the mapping.  Designs whose
+        SSD can hold the *only* newest copy of a page (LC, and the
+        related-work exclusive/rotating caches) must first make those
+        versions durable on disk — :meth:`_pre_detach` forces the WAL and
+        redoes them from the log, or raises :class:`RecoveryError` if the
+        log was truncated past them (the §3.2 sharp-checkpoint
+        correctness argument, machine-checked).
+
+        Concurrent callers (every I/O that observes the death) coalesce
+        onto one detach; later callers wait for its completion.
+        """
+        if self._detach_started:
+            yield from self._await_detach()
+            return
+        self._detach_started = True
+        self.detached = True
+        started = self.env.now
+        dropped = self.used_frames
+        try:
+            yield from self._pre_detach()
+        finally:
+            # Complete the detach even when _pre_detach raises (log
+            # truncated past a dirty page): waiters must not hang while
+            # the RecoveryError propagates.
+            self._clear_ssd_state()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "ssd_detached", "fault", "faults",
+                    {"reason": reason, "dropped_frames": dropped,
+                     "redo_pages": self.stats.detach_redo_pages})
+            self._detach_complete.succeed()
+
+    def _pre_detach(self):
+        """Process step: make SSD-only page versions durable on disk.
+
+        Any valid dirty record newer than disk holds the only non-log
+        copy of its version.  The WAL is forced, then each such page is
+        redone to disk from the durable log in concurrent waves.  If the
+        log no longer covers one of them (truncated by a checkpoint that
+        should have flushed the page first), committed data is gone and
+        :class:`RecoveryError` is raised.
+        """
+        targets = [(r.page_id, r.version) for r in self.table.occupied_records()
+                   if r.valid and r.dirty
+                   and r.version > self.disk.disk_version(r.page_id)]
+        if not targets:
+            return
+        yield from self.wal.force(self.wal.tail_lsn, ctx=RECOVERY_CTX)
+        durable: dict = {}
+        for rec in self.wal.records_since(-1):
+            if rec.page_id >= 0 and rec.version > durable.get(rec.page_id, -1):
+                durable[rec.page_id] = rec.version
+        lost = [(pid, v) for pid, v in targets if durable.get(pid, -1) < v]
+        if lost:
+            raise RecoveryError(
+                f"SSD died holding the only copy of {len(lost)} dirty "
+                f"pages whose log records were truncated, "
+                f"e.g. {lost[:5]}: cannot degrade without losing "
+                f"committed data")
+        started = self.env.now
+        for wave_start in range(0, len(targets), DEGRADE_BATCH):
+            wave = targets[wave_start:wave_start + DEGRADE_BATCH]
+            pending = [
+                self.env.process(self.disk.write(pid, version,
+                                                 sequential=False,
+                                                 ctx=RECOVERY_CTX))
+                for pid, version in wave
+            ]
+            yield self.env.all_of(pending)
+            self.stats.detach_redo_pages += len(wave)
+        self._tracer.complete("degrade_redo", started, self.env.now,
+                              "fault", "faults",
+                              {"pages": len(targets)}
+                              if self._tracer.enabled else None)
+
+    def _clear_ssd_state(self) -> None:
+        """Forget the mapping (detach / cold restart)."""
+        self.table.clear()
+        self.clean_heap.clear()
+        self.dirty_heap.clear()
+
+    # ------------------------------------------------------------------
+    # Crash / restart hooks
+    # ------------------------------------------------------------------
+
     def on_crash(self) -> None:
         """Volatile state is lost.  The SSD's *content* survives, but the
         paper's designs keep the mapping only in RAM, so a cold restart
         discards it; the warm-restart extension retains clean frames."""
         if not self.config.warm_restart:
-            self.table.clear()
-            self.clean_heap.clear()
-            self.dirty_heap.clear()
+            self._clear_ssd_state()
             return
         for record in list(self.table.occupied_records()):
             if not record.valid or record.dirty:
                 self._drop_record(record)
+
+    def crash_reset(self) -> None:
+        """Hard-crash restart (the crash-point harness).
+
+        The event wipe killed any in-flight detach with the rest of the
+        world; the detach-completion event belongs to those dead waiters
+        and must be rebuilt.  A detached SSD stays detached across the
+        crash — the device is still dead.
+        """
+        self.on_crash()
+        if self._detach_started and not self.detached:
+            self.detached = True
+        self._detach_started = self.detached
+        self._detach_complete = self.env.event()
+        if self.detached:
+            self._detach_complete.succeed()
 
     def on_restart(self, last_checkpoint_lsn: int) -> None:
         """After redo: drop kept SSD frames that redo made stale."""

@@ -114,7 +114,7 @@ class TemperatureAwareManager(SsdManagerBase):
         """
         if frame.sequential:
             self._bump(frame.page_id, sequential=True)
-        if self.config.ssd_frames == 0:
+        if self.config.ssd_frames == 0 or self.detached:
             return
         self.env.process(self._write_after_read(frame))
 
@@ -158,6 +158,8 @@ class TemperatureAwareManager(SsdManagerBase):
 
     def _cache_tac(self, page_id: int, version: int):
         """Process step: write one page into the SSD, TAC-style."""
+        if self.detached:
+            return False
         if self._throttled():
             self.stats.declined_throttle += 1
             self._tm_declined.inc()
@@ -185,8 +187,15 @@ class TemperatureAwareManager(SsdManagerBase):
         if self._tracer.enabled:
             self._tracer.instant("admit", "ssd", "ssd_manager",
                                  {"page": page_id, "dirty": False})
-        yield self.device.write(record.frame_no, 1, random=True,
-                                ctx=ADMISSION_CTX)
+        ok = yield from self._ssd_write_frame(record.frame_no,
+                                              ctx=ADMISSION_CTX)
+        if not ok:
+            # The image never reached the SSD; drop the claim unless the
+            # record was already invalidated or reused meanwhile.
+            if (record.valid and record.page_id == page_id
+                    and record.version == version):
+                self._drop_record(record)
+            return False
         return True
 
     def on_evict_clean(self, frame: Frame):
@@ -209,6 +218,8 @@ class TemperatureAwareManager(SsdManagerBase):
             yield disk_write
 
     def _revalidate_write(self, record, page_id: int, version: int):
+        if self.detached:
+            return
         if self._throttled():
             self.stats.declined_throttle += 1
             self._tm_declined.inc()
@@ -222,8 +233,14 @@ class TemperatureAwareManager(SsdManagerBase):
         self.temp_heap.push(record)
         self.stats.writes += 1
         self._tm_writes.inc()
-        yield self.device.write(record.frame_no, 1, random=True,
-                                ctx=EVICTION_CTX)
+        ok = yield from self._ssd_write_frame(record.frame_no,
+                                              ctx=EVICTION_CTX)
+        if not ok:
+            # Write never landed: the record must not claim the version.
+            if (record.occupied and record.valid
+                    and record.page_id == page_id
+                    and record.version == version):
+                self.table.invalidate_logical(record)
 
     # ------------------------------------------------------------------
     # Logical invalidation (§2.5: the frame is *not* reclaimed)
@@ -247,6 +264,13 @@ class TemperatureAwareManager(SsdManagerBase):
     def wasted_frames(self) -> int:
         """Occupied-but-invalid SSD frames (the paper's 7–10 GB waste)."""
         return self.table.invalid_count
+
+    def _clear_ssd_state(self) -> None:
+        """Detach/cold restart also empties the temperature heap (extent
+        temperatures themselves are statistics, not mapping state, and
+        survive — as they would in a server that logs them)."""
+        super()._clear_ssd_state()
+        self.temp_heap.clear()
 
     def checkpoint_write(self, frame: Frame):
         """Checkpoint flush: disk write, plus the SSD if an invalidated

@@ -590,3 +590,18 @@ class BufferPool:
         self._lru_heap.clear()
         self._inflight.clear()
         self._reserved = 0
+
+    def crash_reset(self) -> None:
+        """Hard-crash restart: drop volatile state and restart services.
+
+        Used after :meth:`~repro.sim.environment.Environment.wipe` killed
+        every in-flight process — including the lazy writer and any
+        eviction write-outs — so the counters and wakeup events they
+        owned must be rebuilt and a fresh lazy writer started.
+        """
+        self.drop_all()
+        self.checkpoint_active = False
+        self._evicting = 0
+        self._lazywriter_wake = None
+        self._frame_freed = self.env.event()
+        self.env.process(self._lazywriter())

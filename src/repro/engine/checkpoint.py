@@ -59,6 +59,12 @@ class Checkpointer:
             self._running = True
             self.env.process(self._periodic())
 
+    def crash_reset(self) -> None:
+        """Hard-crash restart: the periodic process died with the event
+        queue; allow :meth:`start` to launch a fresh one.  The durable
+        ``last_checkpoint_lsn`` survives — recovery replays from it."""
+        self._running = False
+
     def _periodic(self):
         while True:
             yield self.env.timeout(self.interval)

@@ -9,15 +9,23 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.faults.errors import (
+    RETRY_BASE_DELAY,
+    RETRY_LIMIT,
+    DeviceDeadError,
+    IoFault,
+)
 from repro.sim import Environment
 from repro.storage.hdd import HddArray
 from repro.storage.request import IoKind, IORequest
+from repro.telemetry import NULL_TELEMETRY
 
 
 class DiskManager:
     """Page-level read/write interface over the database's disk volume."""
 
-    def __init__(self, env: Environment, device: HddArray, npages: int):
+    def __init__(self, env: Environment, device: HddArray, npages: int,
+                 telemetry=None):
         self.env = env
         self.device = device
         self.npages = npages
@@ -26,6 +34,12 @@ class DiskManager:
         self._image: Dict[int, int] = {}
         self.reads_issued = 0
         self.writes_issued = 0
+        self.retries = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._tracer = self.telemetry.tracer
+        self._tm_retries = self.telemetry.registry.counter(
+            "disk_retries_total",
+            "Disk I/Os retried after transient failures")
 
     # ------------------------------------------------------------------
     # Persistent image (versions)
@@ -46,6 +60,35 @@ class DiskManager:
     # I/O
     # ------------------------------------------------------------------
 
+    def _submit(self, request: IORequest):
+        """Process step: submit with bounded retry + exponential backoff.
+
+        Transient faults are retried up to ``RETRY_LIMIT`` times; a dead
+        device (or an exhausted budget) re-raises to the caller — the
+        data volume has no fallback, so that is a hard error.
+        """
+        delay = RETRY_BASE_DELAY
+        attempt = 0
+        while True:
+            try:
+                yield self.device.submit(request)
+                return
+            except DeviceDeadError:
+                raise
+            except IoFault:
+                self.retries += 1
+                self._tm_retries.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "io_retry", "fault", "faults",
+                        {"device": self.device.name, "attempt": attempt + 1,
+                         "address": request.address})
+                if attempt >= RETRY_LIMIT:
+                    raise
+                attempt += 1
+                yield self.env.timeout(delay)
+                delay *= 2
+
     def read(self, page_id: int, npages: int = 1, sequential: bool = False,
              ctx=None):
         """Process step: read ``npages`` contiguous pages.
@@ -55,7 +98,7 @@ class DiskManager:
         self._check_range(page_id, npages)
         kind = IoKind.SEQUENTIAL_READ if sequential else IoKind.RANDOM_READ
         self.reads_issued += 1
-        yield self.device.submit(IORequest(kind, page_id, npages, ctx=ctx))
+        yield from self._submit(IORequest(kind, page_id, npages, ctx=ctx))
         return [self.disk_version(page_id + i) for i in range(npages)]
 
     def write(self, page_id: int, version: int, sequential: bool = False,
@@ -64,7 +107,7 @@ class DiskManager:
         self._check_range(page_id, 1)
         kind = IoKind.SEQUENTIAL_WRITE if sequential else IoKind.RANDOM_WRITE
         self.writes_issued += 1
-        yield self.device.submit(IORequest(kind, page_id, 1, ctx=ctx))
+        yield from self._submit(IORequest(kind, page_id, 1, ctx=ctx))
         self._persist(page_id, version)
 
     def write_run(self, page_id: int, versions: List[int], ctx=None):
@@ -77,8 +120,8 @@ class DiskManager:
         self.writes_issued += 1
         kind = (IoKind.SEQUENTIAL_WRITE if len(versions) > 1
                 else IoKind.RANDOM_WRITE)
-        yield self.device.submit(IORequest(kind, page_id, len(versions),
-                                           ctx=ctx))
+        yield from self._submit(IORequest(kind, page_id, len(versions),
+                                          ctx=ctx))
         for offset, version in enumerate(versions):
             self._persist(page_id + offset, version)
 

@@ -17,6 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.faults.errors import (
+    RETRY_BASE_DELAY,
+    RETRY_LIMIT,
+    DeviceDeadError,
+    IoFault,
+)
 from repro.sim import Environment, Event
 from repro.storage.hdd import HddArray
 from repro.storage.request import IoKind, IORequest
@@ -61,6 +67,10 @@ class WriteAheadLog:
             "wal_flushes_total", "Group-commit flushes of the log tail")
         self._tm_pages_flushed = registry.counter(
             "wal_pages_flushed_total", "Log pages written to the log device")
+        self._tm_retries = registry.counter(
+            "wal_retries_total",
+            "Log flushes retried after transient failures")
+        self.flush_retries = 0
 
     @property
     def tail_lsn(self) -> int:
@@ -116,7 +126,7 @@ class WriteAheadLog:
                                 npages)
             self._write_head += npages
             flush_started = self.env.now
-            yield self.device.submit(request)
+            yield from self._flush_with_retry(request)
             self._tm_flushes.inc()
             self._tm_pages_flushed.inc(npages)
             self._tracer.complete("flush", flush_started, self.env.now,
@@ -131,4 +141,44 @@ class WriteAheadLog:
                 else:
                     still_waiting.append((lsn, event))
             self._waiters = still_waiting
+        self._flusher_running = False
+
+    def _flush_with_retry(self, request: IORequest):
+        """Process step: one log write with bounded retry + backoff.
+
+        A dead log device (or an exhausted retry budget) re-raises: with
+        the log gone no transaction can commit durably, so the flusher —
+        and every forcer waiting on it — must fail loudly rather than
+        pretend records became durable.
+        """
+        delay = RETRY_BASE_DELAY
+        attempt = 0
+        while True:
+            try:
+                yield self.device.submit(request)
+                return
+            except DeviceDeadError:
+                raise
+            except IoFault:
+                self.flush_retries += 1
+                self._tm_retries.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "io_retry", "fault", "faults",
+                        {"device": self.device.name, "attempt": attempt + 1})
+                if attempt >= RETRY_LIMIT:
+                    raise
+                attempt += 1
+                yield self.env.timeout(delay)
+                delay *= 2
+
+    def crash_reset(self) -> None:
+        """Volatile flush state is lost in a hard crash.
+
+        Durable state — ``records``/``flushed_lsn``/the write head —
+        survives; the waiter list and the flusher flag belong to wiped
+        processes and must be cleared so post-recovery forces start a
+        fresh flusher.
+        """
+        self._waiters = []
         self._flusher_running = False

@@ -1,0 +1,30 @@
+"""Fault exceptions and the shared retry policy.
+
+These live in their own leaf module so that every layer that needs to
+catch an injected fault (``storage``, ``engine``, ``core``) can import
+them without pulling in the plan/injector machinery — and without any
+import cycles, since this module depends on nothing else in the package.
+"""
+
+from __future__ import annotations
+
+
+class IoFault(Exception):
+    """An injected I/O failure (base class; transient unless subclassed)."""
+
+
+class TransientIoError(IoFault):
+    """A single I/O failed; retrying the same request may succeed."""
+
+
+class DeviceDeadError(IoFault):
+    """The device has failed permanently; no retry can succeed."""
+
+
+#: Bounded-retry policy shared by :class:`~repro.engine.disk_manager
+#: .DiskManager`, the WAL flusher and the SSD managers: up to
+#: ``RETRY_LIMIT`` retries with exponential backoff starting at
+#: ``RETRY_BASE_DELAY`` seconds, capped at ``RETRY_MAX_DELAY``.
+RETRY_LIMIT = 4
+RETRY_BASE_DELAY = 0.002
+RETRY_MAX_DELAY = 0.05

@@ -1,0 +1,177 @@
+"""Fault plans: a parseable schedule of injected failures.
+
+A plan is a comma-separated list of clauses, each a fault kind followed
+by ``@t=<seconds>`` / ``:key=value`` parameters::
+
+    ssd_die@t=30                    whole-SSD death at t=30
+    transient:p=0.001               0.1% of I/Os fail transiently (all devices)
+    transient:p=0.01:device=ssd     ... on the SSD only
+    latency:p=0.005:x=20            0.5% of I/Os are 20x stragglers
+    log_stall@t=10:dur=2            the log device freezes for 2 s at t=10
+    disk_stall@t=10:dur=2           ... the data volume
+    ssd_stall@t=10:dur=2            ... the SSD
+
+``FaultPlan.parse("ssd_die@t=30,transient:p=0.001")`` builds the plan;
+:meth:`FaultPlan.install` attaches one seeded :class:`~repro.faults
+.injector.FaultInjector` per targeted device of a
+:class:`~repro.harness.system.System` and spawns the timer processes
+that trigger the scheduled faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.faults.injector import FaultInjector
+
+#: Known fault kinds and the parameters each accepts.
+_KINDS = {
+    "transient": {"p", "device"},
+    "latency": {"p", "x", "device"},
+    "ssd_die": {"t"},
+    "log_stall": {"t", "dur"},
+    "disk_stall": {"t", "dur"},
+    "ssd_stall": {"t", "dur"},
+}
+_DEVICES = ("disk", "ssd", "log")
+_STALL_DEVICE = {"log_stall": "log", "disk_stall": "disk",
+                 "ssd_stall": "ssd"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause."""
+
+    kind: str
+    device: str = "all"          # disk | ssd | log | all
+    p: float = 0.0               # per-I/O probability (transient/latency)
+    factor: float = 10.0         # latency inflation (latency:x=)
+    at: Optional[float] = None   # trigger time (ssd_die/.._stall:@t=)
+    duration: float = 1.0        # stall window length (.._stall:dur=)
+
+
+class FaultPlan:
+    """A schedule of faults, installable onto a running system."""
+
+    def __init__(self, specs: List[FaultSpec], seed: int = 20110612):
+        self.specs = list(specs)
+        self.seed = seed
+        #: Populated by :meth:`install`: device role -> injector.
+        self.injectors: Dict[str, FaultInjector] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 20110612) -> "FaultPlan":
+        """Parse a plan string (see the module docstring for the grammar)."""
+        specs: List[FaultSpec] = []
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            specs.append(cls._parse_clause(clause))
+        return cls(specs, seed=seed)
+
+    @staticmethod
+    def _parse_clause(clause: str) -> FaultSpec:
+        parts = clause.replace("@", ":").split(":")
+        kind = parts[0].strip()
+        if kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} in {clause!r}; "
+                f"choose from {sorted(_KINDS)}")
+        params: Dict[str, str] = {}
+        for part in parts[1:]:
+            if "=" not in part:
+                raise ValueError(
+                    f"malformed parameter {part!r} in {clause!r} "
+                    f"(expected key=value)")
+            key, value = part.split("=", 1)
+            key, value = key.strip(), value.strip()
+            if key not in _KINDS[kind]:
+                raise ValueError(
+                    f"fault {kind!r} does not take {key!r} "
+                    f"(accepts {sorted(_KINDS[kind])})")
+            params[key] = value
+
+        def _float(key: str, default: Optional[float]) -> Optional[float]:
+            if key not in params:
+                return default
+            try:
+                return float(params[key])
+            except ValueError:
+                raise ValueError(
+                    f"{key}={params[key]!r} in {clause!r} is not a number")
+
+        device = params.get("device", "all")
+        if device not in _DEVICES + ("all",):
+            raise ValueError(
+                f"unknown device {device!r} in {clause!r}; "
+                f"choose from {_DEVICES + ('all',)}")
+        if kind in _STALL_DEVICE:
+            device = _STALL_DEVICE[kind]
+        elif kind == "ssd_die":
+            device = "ssd"
+        p = _float("p", 0.0)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p={p} in {clause!r} must be in [0, 1]")
+        at = _float("t", None)
+        if kind in ("ssd_die",) + tuple(_STALL_DEVICE) and at is None:
+            raise ValueError(f"fault {kind!r} requires @t=<seconds>")
+        return FaultSpec(kind=kind, device=device, p=p,
+                         factor=_float("x", 10.0), at=at,
+                         duration=_float("dur", 1.0))
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def install(self, system) -> Dict[str, FaultInjector]:
+        """Attach injectors to ``system``'s devices and arm the timers."""
+        env = system.env
+        devices = {"disk": system.data_device, "ssd": system.ssd_device,
+                   "log": system.wal.device}
+
+        def injector(role: str) -> FaultInjector:
+            if role not in self.injectors:
+                rng = random.Random(f"{self.seed}:{role}")
+                self.injectors[role] = FaultInjector(
+                    env, devices[role], rng, telemetry=system.telemetry)
+            return self.injectors[role]
+
+        for spec in self.specs:
+            roles = (_DEVICES if spec.device == "all" else (spec.device,))
+            if spec.kind == "transient":
+                for role in roles:
+                    injector(role).transient_p = max(
+                        injector(role).transient_p, spec.p)
+            elif spec.kind == "latency":
+                for role in roles:
+                    inj = injector(role)
+                    inj.latency_p = max(inj.latency_p, spec.p)
+                    inj.latency_factor = spec.factor
+            elif spec.kind == "ssd_die":
+                env.process(self._die_at(system, injector("ssd"), spec.at))
+            else:  # *_stall
+                env.process(self._stall_at(injector(spec.device), spec))
+        return self.injectors
+
+    @staticmethod
+    def _die_at(system, injector: FaultInjector, at: float):
+        env = injector.env
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        injector.kill()
+        # Degradation is the SSD manager's job: detach and continue (or,
+        # for LC, redo the dirty SSD pages from the log first).
+        env.process(system.ssd_manager.detach())
+
+    @staticmethod
+    def _stall_at(injector: FaultInjector, spec: FaultSpec):
+        env = injector.env
+        if spec.at > env.now:
+            yield env.timeout(spec.at - env.now)
+        injector.stall(spec.duration)

@@ -5,6 +5,13 @@ evaluation section."""
 from repro.harness.system import System, SystemConfig
 from repro.harness.runner import RunResult, WorkloadRunner
 from repro.harness.metrics import Sampler
+from repro.harness.crashpoints import (
+    CrashPointOutcome,
+    CrashSweepConfig,
+    CrashSweepResult,
+    crash_point_sweep,
+    format_sweep_table,
+)
 from repro.harness.experiments import (
     SCALE_PROFILES,
     ScaleProfile,
@@ -14,7 +21,12 @@ from repro.harness.experiments import (
 from repro.harness.report import format_series, format_table
 
 __all__ = [
+    "CrashPointOutcome",
+    "CrashSweepConfig",
+    "CrashSweepResult",
     "RunResult",
+    "crash_point_sweep",
+    "format_sweep_table",
     "SCALE_PROFILES",
     "Sampler",
     "ScaleProfile",

@@ -89,7 +89,7 @@ def make_system(benchmark: str, workload, design: str,
                 checkpoint_interval: Optional[float] = None,
                 warm_restart: bool = False,
                 expand_reads: bool = False,
-                telemetry=None) -> System:
+                telemetry=None, faults=None) -> System:
     """Assemble a system sized for ``workload`` running ``design``."""
     ssd_frames = 0 if design == "noSSD" else profile.ssd_frames
     ssd = SsdDesignConfig(
@@ -107,7 +107,7 @@ def make_system(benchmark: str, workload, design: str,
         expand_reads=expand_reads,
         slack_pages=max(256, workload.db_pages() // 20),
     )
-    return System(config, telemetry=telemetry)
+    return System(config, telemetry=telemetry, faults=faults)
 
 
 def run_oltp_experiment(benchmark: str, scale: int, design: str,
@@ -119,7 +119,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                         bucket_seconds: float = 2.0,
                         expand_reads: bool = False,
                         seed: int = 20110612,
-                        telemetry=None) -> RunResult:
+                        telemetry=None, faults=None) -> RunResult:
     """One OLTP run: the building block of Figures 5–9.
 
     The paper runs TPC-C with checkpointing effectively off and λ=50%,
@@ -132,7 +132,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                          dirty_threshold=dirty_threshold,
                          checkpoint_interval=checkpoint_interval,
                          expand_reads=expand_reads,
-                         telemetry=telemetry)
+                         telemetry=telemetry, faults=faults)
     tracer = system.telemetry.tracer
     if tracer.enabled:
         tracer.instant("run_meta", "meta", "meta",

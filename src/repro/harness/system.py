@@ -18,6 +18,7 @@ from repro.engine import (
     WriteAheadLog,
 )
 from repro.engine.checkpoint import FuzzyCheckpointer
+from repro.faults import FaultPlan
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
@@ -60,7 +61,8 @@ class System:
 
     def __init__(self, config: SystemConfig,
                  env: Optional[Environment] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 faults=None):
         self.config = config
         self.env = env or Environment()
         self.telemetry = telemetry or NULL_TELEMETRY
@@ -71,7 +73,8 @@ class System:
         if self.telemetry.enabled:
             self.data_device.attach_telemetry(self.telemetry)
             self.ssd_device.attach_telemetry(self.telemetry)
-        self.disk = DiskManager(self.env, self.data_device, total_pages)
+        self.disk = DiskManager(self.env, self.data_device, total_pages,
+                                telemetry=self.telemetry)
         self.wal = WriteAheadLog(self.env, telemetry=self.telemetry)
         design_cls = DESIGNS[config.design]
         self.ssd_manager = design_cls(self.env, self.ssd_device, self.disk,
@@ -94,6 +97,13 @@ class System:
             interval=config.checkpoint_interval,
             telemetry=self.telemetry)
         self.db = Database(total_pages)
+        #: The installed fault plan (None when running fault-free).
+        self.faults: Optional[FaultPlan] = None
+        if faults:
+            plan = (FaultPlan.parse(faults)
+                    if isinstance(faults, str) else faults)
+            plan.install(self)
+            self.faults = plan
 
     @property
     def design(self) -> str:
@@ -107,3 +117,22 @@ class System:
     def run(self, until: float) -> None:
         """Advance the simulation to virtual time ``until``."""
         self.env.run(until=until)
+
+    def crash(self) -> None:
+        """Simulated power failure at the current instant.
+
+        Every in-flight process and scheduled event dies with the event
+        queue; each component then resets its volatile state so the same
+        :class:`System` can restart on the same :class:`Environment`
+        (disk/SSD/log *contents* are durable and survive).  Follow with
+        :func:`repro.engine.recovery.simulate_crash_and_recover` to
+        replay the log.
+        """
+        self.env.wipe()
+        self.data_device.reset()
+        self.ssd_device.reset()
+        self.wal.device.reset()
+        self.wal.crash_reset()
+        self.bp.crash_reset()
+        self.ssd_manager.crash_reset()
+        self.checkpointer.crash_reset()

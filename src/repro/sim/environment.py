@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import heapq
 from itertools import count
 from typing import Any, Generator, Iterable, Optional, Union
@@ -130,6 +131,32 @@ class Environment:
         if stop_at != float("inf"):
             self._now = stop_at
         return None
+
+    def wipe(self) -> None:
+        """Discard every scheduled event (simulated power failure).
+
+        Processes waiting on wiped events never resume: they are the
+        in-flight work a crash destroys.  The clock does not move, and
+        new processes can be started afterwards — this is what lets a
+        crash-point harness dead-stop a system mid-I/O and then drive
+        recovery on the same environment.
+
+        Dropping the queue releases the last references to in-flight
+        process generators; closing them (``GeneratorExit``) runs their
+        ``finally`` blocks, which may ``succeed()`` events — scheduling
+        wake-ups into the *post-crash* queue that would resurrect dead
+        processes mid-recovery with their pre-crash local state.  The
+        clear-and-collect loop discards those until no dying finalizer
+        schedules anything more (``gc.collect`` also frees the
+        waiter/event reference cycles non-queue-held processes sit in).
+        """
+        self._queue.clear()
+        for _ in range(16):
+            gc.collect()
+            if not self._queue:
+                break
+            self._queue.clear()
+        self._crash = None
 
     # ------------------------------------------------------------------
     # Crash handling (uncaught exceptions in un-awaited processes)

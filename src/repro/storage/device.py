@@ -9,6 +9,7 @@ event that triggers when the transfer finishes; the elapsed virtual time is
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -78,7 +79,10 @@ class TrafficRecorder:
             return []
         last = max(list(self._reads) + list(self._writes))
         if until is not None:
-            last = max(last, int(until / self.bucket_seconds) - 1)
+            # ceil, not floor: a run ending mid-bucket still owns that
+            # (partial) bucket — flooring dropped the final one and
+            # truncated the Figure 8 series.
+            last = max(last, math.ceil(until / self.bucket_seconds) - 1)
         scale = PAGE_SIZE_BYTES / (1 << 20) / self.bucket_seconds
         return [
             (
@@ -106,7 +110,23 @@ class Device:
         self.stats = DeviceStats()
         self.traffic: Optional[TrafficRecorder] = None
         self._outstanding = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`.
+        self.faults = None
         self.attach_telemetry(NULL_TELEMETRY)
+
+    def attach_faults(self, injector) -> None:
+        """Bind a fault injector; subsequent I/Os may fail or straggle."""
+        self.faults = injector
+
+    def reset(self) -> None:
+        """Forget in-flight work (simulated power failure).
+
+        The event queue holding the serving processes is wiped separately
+        by :meth:`~repro.sim.environment.Environment.wipe`; this clears
+        the device-side bookkeeping those processes would have unwound.
+        """
+        self.channels = Resource(self.env, capacity=self.channels.capacity)
+        self._outstanding = 0
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind a telemetry sink and resolve this device's instruments."""
@@ -147,30 +167,53 @@ class Device:
         raise NotImplementedError
 
     def submit(self, request: IORequest) -> Event:
-        """Submit a request; the returned event triggers on completion."""
+        """Submit a request; the returned event triggers on completion
+        (or *fails* with an :class:`~repro.faults.errors.IoFault` when a
+        fault injector rejects or aborts the I/O)."""
         request.submitted_at = self.env.now
-        self._outstanding += 1
         done = self.env.event()
+        if self.faults is not None:
+            error = self.faults.on_submit(request)
+            if error is not None:
+                done.fail(error)
+                return done
+        self._outstanding += 1
         self.env.process(self._serve(request, done))
         return done
 
     def _serve(self, request: IORequest, done: Event):
-        with self.channels.request() as slot:
-            yield slot
-            service = self.service_time(request)
-            yield self.env.timeout(service)
-            request.completed_at = self.env.now
-            self.stats.record(request, service)
-            self._tm_requests[request.kind].inc()
-            self._tm_pages[request.kind].inc(request.npages)
-            self._tracer.complete(KIND_LABELS[request.kind],
-                                  request.submitted_at, self.env.now,
-                                  "io", self._trace_track,
-                                  ctx=request.ctx)
-            if self.traffic is not None:
-                self.traffic.record(self.env.now, request)
-        self._outstanding -= 1
-        done.succeed(request)
+        failure = None
+        try:
+            with self.channels.request() as slot:
+                yield slot
+                service = self.service_time(request)
+                if self.faults is not None:
+                    extra = self.faults.pre_service_delay(request, service)
+                    if extra > 0:
+                        yield self.env.timeout(extra)
+                yield self.env.timeout(service)
+                if self.faults is not None:
+                    failure = self.faults.on_complete(request)
+                if failure is None:
+                    request.completed_at = self.env.now
+                    self.stats.record(request, service)
+                    self._tm_requests[request.kind].inc()
+                    self._tm_pages[request.kind].inc(request.npages)
+                    self._tracer.complete(KIND_LABELS[request.kind],
+                                          request.submitted_at, self.env.now,
+                                          "io", self._trace_track,
+                                          ctx=request.ctx)
+                    if self.traffic is not None:
+                        self.traffic.record(self.env.now, request)
+        finally:
+            # The decrement must survive any exit path: leaking one
+            # outstanding count per failed I/O would permanently inflate
+            # ``pending`` and wedge the §3.3.2 throttle shut.
+            self._outstanding -= 1
+        if failure is not None:
+            done.fail(failure)
+        else:
+            done.succeed(request)
 
     def read(self, address: int, npages: int = 1, random: bool = True,
              tag=None, ctx=None) -> Event:

@@ -103,11 +103,21 @@ class HddArray(Device):
     def submit(self, request: IORequest) -> Event:
         """Submit a request, splitting it into per-drive fragments."""
         request.submitted_at = self.env.now
-        self._outstanding += 1
         done = self.env.event()
+        if self.faults is not None:
+            error = self.faults.on_submit(request)
+            if error is not None:
+                done.fail(error)
+                return done
+        self._outstanding += 1
         fragments = self._split(request)
         self.env.process(self._serve_fragments(request, fragments, done))
         return done
+
+    def reset(self) -> None:
+        super().reset()
+        self._disks = [Resource(self.env, 1) for _ in range(self.ndisks)]
+        self._head = [-(1 << 30)] * self.ndisks
 
     def _split(self, request: IORequest) -> List[IORequest]:
         """Split a request into contiguous per-drive fragments."""
@@ -124,18 +134,37 @@ class HddArray(Device):
         return fragments
 
     def _serve_fragments(self, request: IORequest, fragments, done: Event):
-        pending = [
-            self.env.process(self._serve_one(fragment))
-            for fragment in fragments
-        ]
-        yield self.env.all_of(pending)
-        request.completed_at = self.env.now
-        self._tm_requests[request.kind].inc()
-        self._tracer.complete(KIND_LABELS[request.kind], request.submitted_at,
-                              self.env.now, "io", self._trace_track,
-                              ctx=request.ctx)
-        self._outstanding -= 1
-        done.succeed(request)
+        failure = None
+        try:
+            if self.faults is not None:
+                # Faults act on the whole request, not per fragment: one
+                # straggling drive delays the stripe anyway.
+                extra = self.faults.pre_service_delay(
+                    request, self.service_time(request))
+                if extra > 0:
+                    yield self.env.timeout(extra)
+            pending = [
+                self.env.process(self._serve_one(fragment))
+                for fragment in fragments
+            ]
+            yield self.env.all_of(pending)
+            if self.faults is not None:
+                failure = self.faults.on_complete(request)
+            if failure is None:
+                request.completed_at = self.env.now
+                self._tm_requests[request.kind].inc()
+                self._tracer.complete(KIND_LABELS[request.kind],
+                                      request.submitted_at,
+                                      self.env.now, "io", self._trace_track,
+                                      ctx=request.ctx)
+        finally:
+            # Same rule as Device._serve: never leak the outstanding
+            # count, or ``pending`` inflates and wedges the throttle.
+            self._outstanding -= 1
+        if failure is not None:
+            done.fail(failure)
+        else:
+            done.succeed(request)
 
     def _serve_one(self, fragment: IORequest):
         disk_index = self.disk_of(fragment.address)

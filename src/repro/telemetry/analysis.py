@@ -214,6 +214,9 @@ class DesignAnalysis:
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     #: Background origin ("cleaner", "eviction", …) → device-busy stats.
     background_io: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Fault-category event name → occurrence count (injected faults,
+    #: retries, SSD detach, degradation redo — ``cat == "fault"``).
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def truncated(self) -> bool:
@@ -362,6 +365,10 @@ def analyze_trace(path: str) -> DesignAnalysis:
                               ts, args.get("frames", 0))
             continue
 
+        if event.get("cat") == "fault":
+            analysis.faults[name] = analysis.faults.get(name, 0) + 1
+            continue
+
         txn_id = args.get("txn")
         origin = args.get("origin")
         if ph == "X" and event.get("cat") == "txn" and txn_id is not None:
@@ -483,6 +490,19 @@ def format_interference_table(analyses: Sequence[DesignAnalysis]) -> str:
         rows.append(row)
     return format_table("Background device-time share",
                         ["design"] + origins, rows)
+
+
+def format_faults_table(analyses: Sequence[DesignAnalysis]) -> str:
+    """Injected faults and the engine's reactions, per design."""
+    from repro.harness.report import format_table
+
+    names = sorted({name for a in analyses for name in a.faults})
+    rows = []
+    for analysis in analyses:
+        rows.append([analysis.design]
+                    + [str(analysis.faults.get(name, 0)) or "-"
+                       for name in names])
+    return format_table("Fault events", ["design"] + names, rows)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,101 @@
+"""The crash-point sweep harness and its CLI surface."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness import (
+    CrashPointOutcome,
+    CrashSweepConfig,
+    CrashSweepResult,
+    crash_point_sweep,
+    format_sweep_table,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(designs=("CW", "LC"), policies=("sharp",), points=1,
+                    duration=3.0, checkpoint_interval=1.0, db_pages=200,
+                    bp_pages=40, ssd_frames=280, nworkers=4, post_ops=20)
+    defaults.update(kwargs)
+    return CrashSweepConfig(**defaults)
+
+
+class TestCrashPointSweep:
+    def test_small_sweep_loses_nothing(self):
+        result = crash_point_sweep(small_config())
+        assert len(result.outcomes) == 2
+        assert result.ok, format_sweep_table(result)
+        for outcome in result.outcomes:
+            assert outcome.committed_pages > 0
+            assert 0.2 * 3.0 <= outcome.crash_at <= 3.0
+
+    def test_sweep_is_deterministic(self):
+        def fingerprint(result):
+            return [(o.design, o.policy, o.crash_at, o.ok, o.pages_redone,
+                     o.committed_pages) for o in result.outcomes]
+
+        cfg = small_config(designs=("DW",))
+        assert fingerprint(crash_point_sweep(cfg)) == \
+            fingerprint(crash_point_sweep(cfg))
+
+    def test_fuzzy_policy_runs(self):
+        result = crash_point_sweep(small_config(designs=("TAC",),
+                                                policies=("fuzzy",)))
+        assert result.ok, format_sweep_table(result)
+
+
+class TestSweepTable:
+    def test_groups_by_design_and_policy(self):
+        result = CrashSweepResult(outcomes=[
+            CrashPointOutcome("CW", "sharp", 1.0, pages_redone=3),
+            CrashPointOutcome("CW", "sharp", 2.0, pages_redone=4),
+            CrashPointOutcome("LC", "fuzzy", 1.5, pages_redone=7),
+        ])
+        table = format_sweep_table(result)
+        lines = table.splitlines()
+        assert "design" in lines[0]
+        assert any("CW" in l and " 2 " in l and " 7 " in l for l in lines)
+        assert "FAIL" not in table
+
+    def test_failures_are_listed(self):
+        result = CrashSweepResult(outcomes=[
+            CrashPointOutcome("DW", "sharp", 2.5, ok=False,
+                              error="RecoveryError: boom"),
+        ])
+        assert not result.ok
+        table = format_sweep_table(result)
+        assert "FAIL DW/sharp @t=2.500: RecoveryError: boom" in table
+
+
+class TestChaosCli:
+    def test_smoke_run_exits_zero(self, capsys):
+        code = main(["chaos", "--points", "1", "--designs", "CW",
+                     "--policies", "sharp", "--duration", "3"])
+        out = capsys.readouterr()
+        assert code == 0
+        assert "design" in out.out and "CW" in out.out
+        assert "1 crash points" in out.err
+
+    def test_rejects_unknown_design(self, capsys):
+        assert main(["chaos", "--designs", "XX"]) == 2
+        assert "XX" in capsys.readouterr().err
+
+    def test_rejects_unknown_policy(self, capsys):
+        assert main(["chaos", "--policies", "blurry"]) == 2
+        assert "blurry" in capsys.readouterr().err
+
+
+class TestFaultsCliFlag:
+    def test_rejects_malformed_plan(self, capsys):
+        code = main(["oltp", "--designs", "LC", "--faults", "explode@t=1"])
+        assert code == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_ssd_die_mid_run_degrades_not_crashes(self, capsys):
+        code = main(["oltp", "--scale", "50", "--profile", "tiny",
+                     "--duration", "4", "--designs", "DW",
+                     "--faults", "ssd_die@t=2"])
+        out = capsys.readouterr()
+        assert code == 0
+        assert "DW" in out.out
+        assert "ssd_detached=True" in out.err
