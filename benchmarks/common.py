@@ -9,6 +9,13 @@ Scaling: the default profile preserves the paper's sizing ratios at
 100 pages/GB and compresses the 10-hour timeline into 60 virtual seconds
 (see EXPERIMENTS.md).  Set ``REPRO_BENCH_FAST=1`` to use the smaller
 profile for a quick smoke pass.
+
+Caching is two-level: an in-process dict (benches within one session
+share live results) backed by the on-disk run cache of
+:mod:`repro.harness.sweep` (results survive across sessions; the cache
+key covers the full config *and* the simulator sources, so a code change
+is an automatic miss).  ``REPRO_BENCH_NO_DISK_CACHE=1`` disables the
+disk layer.
 """
 
 from __future__ import annotations
@@ -16,14 +23,13 @@ from __future__ import annotations
 import os
 from typing import Dict
 
-from repro.harness.experiments import (
-    SCALE_PROFILES,
-    run_oltp_experiment,
-    run_tpch_experiment,
-)
+from repro.harness.experiments import SCALE_PROFILES
+from repro.harness.sweep import RunSpec, run_cached
 
 FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
-PROFILE = SCALE_PROFILES["small" if FAST else "default"]
+PROFILE_NAME = "small" if FAST else "default"
+PROFILE = SCALE_PROFILES[PROFILE_NAME]
+DISK_CACHE = not os.environ.get("REPRO_BENCH_NO_DISK_CACHE")
 
 #: Virtual seconds standing in for the paper's 10-hour runs.
 OLTP_DURATION = 30.0 if FAST else 60.0
@@ -51,10 +57,12 @@ def oltp_run(benchmark: str, scale: int, design: str, **kwargs):
     if key not in _oltp_cache:
         if benchmark == "tpcc":
             kwargs.setdefault("nworkers", TPCC_WORKERS)
-        _oltp_cache[key] = run_oltp_experiment(
-            benchmark, scale, design,
+        spec = RunSpec(
+            kind="oltp", benchmark=benchmark, scale=scale, design=design,
+            profile=PROFILE_NAME, bucket_seconds=BUCKET,
             duration=kwargs.pop("duration", OLTP_DURATION),
-            profile=PROFILE, bucket_seconds=BUCKET, **kwargs)
+            nworkers=kwargs.pop("nworkers", 32), **kwargs)
+        _oltp_cache[key] = run_cached(spec, use_cache=DISK_CACHE)
     return _oltp_cache[key]
 
 
@@ -78,9 +86,10 @@ def tpch_run(sf: int, design: str):
     """Cached full TPC-H run (power + throughput)."""
     key = (sf, design)
     if key not in _tpch_cache:
-        _tpch_cache[key] = run_tpch_experiment(
-            sf, design, profile=PROFILE,
-            checkpoint_interval=CHECKPOINT_40MIN)
+        spec = RunSpec(kind="tpch", benchmark="tpch", scale=sf,
+                       design=design, profile=PROFILE_NAME,
+                       checkpoint_interval=CHECKPOINT_40MIN)
+        _tpch_cache[key] = run_cached(spec, use_cache=DISK_CACHE)
     return _tpch_cache[key]
 
 

@@ -7,6 +7,8 @@ Commands:
   and print throughputs, speedups, and SSD statistics.
 * ``tpch``    — run the TPC-H power + throughput tests.
 * ``designs`` — list the available SSD designs with one-line summaries.
+* ``sweep``   — fan a grid of runs (designs x scales) across worker
+  processes through the on-disk run cache.
 * ``analyze`` — reconstruct per-transaction latency attribution from
   ``--trace`` output and emit terminal/HTML/JSON reports.
 """
@@ -220,6 +222,66 @@ def cmd_chaos(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_sweep(args) -> int:
+    """Run a design x scale grid in parallel through the run cache."""
+    import json
+    from pathlib import Path
+
+    from repro.harness.sweep import (
+        RunSpec,
+        progress_printer,
+        run_sweep,
+        summarize,
+    )
+
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = [d for d in designs if d not in DESIGNS]
+    if unknown:
+        print(f"unknown designs: {unknown}; try `python -m repro designs`",
+              file=sys.stderr)
+        return 2
+    try:
+        scales = [int(s) for s in args.scales.split(",") if s.strip()]
+    except ValueError:
+        print(f"--scales must be comma-separated integers, "
+              f"got {args.scales!r}", file=sys.stderr)
+        return 2
+    if not scales or not designs:
+        print("sweep: need at least one scale and one design",
+              file=sys.stderr)
+        return 2
+
+    kind = "tpch" if args.benchmark == "tpch" else "oltp"
+    specs = [
+        RunSpec(kind=kind, benchmark=args.benchmark, scale=scale,
+                design=design, profile=args.profile,
+                duration=args.duration, nworkers=args.workers_per_run,
+                dirty_threshold=args.dirty_threshold,
+                checkpoint_interval=args.checkpoint_interval,
+                seed=args.seed)
+        for scale in scales for design in designs
+    ]
+    directory = Path(args.cache_dir) if args.cache_dir else None
+    report = run_sweep(specs, workers=args.workers, directory=directory,
+                       use_cache=not args.no_cache,
+                       progress=progress_printer())
+    rows = summarize(report)
+    table = [[row["spec"]["benchmark"], str(row["spec"]["scale"]),
+              row["spec"]["design"], row["metric"], f"{row['value']:,.1f}"]
+             for row in rows]
+    print(format_table(
+        f"sweep — {len(rows)} runs, {report.cached} cached, "
+        f"{report.computed} computed in {report.elapsed:.1f}s "
+        f"(workers={args.workers})",
+        ["benchmark", "scale", "design", "metric", "value"], table))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump({"runs": rows}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote sweep summary to {args.output}", file=sys.stderr)
+    return 0
+
+
 def cmd_tpch(args) -> int:
     """Run the TPC-H power + throughput tests across designs."""
     designs = [d.strip() for d in args.designs.split(",") if d.strip()]
@@ -361,6 +423,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="crash-window length in virtual seconds")
     p_chaos.add_argument("--checkpoint-interval", type=float, default=1.0)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a design x scale grid in parallel, cached")
+    p_sweep.add_argument("--benchmark", choices=("tpcc", "tpce", "tpch"),
+                         default="tpcc")
+    p_sweep.add_argument("--scales", default="1000",
+                         help="comma-separated scales (warehouses, "
+                              "customers/1000, or SF)")
+    p_sweep.add_argument("--designs", default="noSSD,DW,LC,TAC",
+                         help="comma-separated designs (see `designs`)")
+    p_sweep.add_argument("--profile", choices=sorted(SCALE_PROFILES),
+                         default="small")
+    p_sweep.add_argument("--duration", type=float, default=30.0,
+                         help="virtual seconds per OLTP run")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (runs in-process when 1)")
+    p_sweep.add_argument("--workers-per-run", type=int, default=16,
+                         help="closed-loop clients inside each run")
+    p_sweep.add_argument("--dirty-threshold", type=float, default=None)
+    p_sweep.add_argument("--checkpoint-interval", type=float, default=None)
+    p_sweep.add_argument("--seed", type=int, default=20110612)
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="run-cache directory (default .repro-cache, "
+                              "or $REPRO_CACHE_DIR)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="always recompute; do not read or write the "
+                              "cache")
+    p_sweep.add_argument("--output", metavar="FILE", default=None,
+                         help="write the merged metric table as JSON")
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_tpch = sub.add_parser("tpch", help="run TPC-H power+throughput tests")
     p_tpch.add_argument("--sf", type=int, choices=(30, 100), default=30)

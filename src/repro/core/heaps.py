@@ -31,6 +31,10 @@ class LazyMinHeap:
     dropped silently.
     """
 
+    #: Compaction floor: below this many stale entries the heap is left
+    #: alone, so small heaps never pay the rebuild.
+    MIN_COMPACT = 64
+
     def __init__(self, key: Callable[[SsdRecord], float],
                  member: Callable[[SsdRecord], bool]):
         self._key = key
@@ -43,12 +47,34 @@ class LazyMinHeap:
         """Upper bound on live entries (lazy entries inflate it)."""
         return len(self._heap)
 
+    @property
+    def live_count(self) -> int:
+        """Records currently considered members of this heap."""
+        return len(self._stamps)
+
     def push(self, record: SsdRecord) -> None:
         """(Re)insert a record with its current key."""
         self._next_stamp += 1
         self._stamps[record.frame_no] = self._next_stamp
         heapq.heappush(self._heap,
                        (self._key(record), self._next_stamp, record))
+        if len(self._heap) - len(self._stamps) > max(
+                self.MIN_COMPACT, 2 * len(self._stamps)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live stamps, dropping stale entries.
+
+        Without this, every re-access and every remove leaves a dead
+        tuple behind; under churn (LC re-dirtying hot pages) the heap
+        grows without bound and each pop wades through the garbage.
+        Rebuilding is O(live) and amortized free because it only runs
+        once the garbage outnumbers the live entries 2:1.
+        """
+        stamps = self._stamps
+        self._heap = [entry for entry in self._heap
+                      if stamps.get(entry[2].frame_no) == entry[1]]
+        heapq.heapify(self._heap)
 
     def remove(self, record: SsdRecord) -> None:
         """Lazily remove a record (its entries become stale)."""

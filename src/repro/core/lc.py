@@ -209,10 +209,10 @@ class LazyCleaningManager(SsdManagerBase):
                 self.clean_heap.push(record)
         self._tm_cleaner_rounds.inc()
         self._tm_cleaner_pages.inc(len(group))
-        self._tracer.complete("clean_batch", round_started, self.env.now,
-                              "cleaner", "cleaner",
-                              {"pages": len(group), "first_page": first}
-                              if self._tracer.enabled else None)
+        if self._tracer.enabled:
+            self._tracer.complete("clean_batch", round_started, self.env.now,
+                                  "cleaner", "cleaner",
+                                  {"pages": len(group), "first_page": first})
         self._note_lambda()
         return len(group)
 

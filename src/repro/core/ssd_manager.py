@@ -589,10 +589,10 @@ class SsdManagerBase:
             ]
             yield self.env.all_of(pending)
             self.stats.detach_redo_pages += len(wave)
-        self._tracer.complete("degrade_redo", started, self.env.now,
-                              "fault", "faults",
-                              {"pages": len(targets)}
-                              if self._tracer.enabled else None)
+        if self._tracer.enabled:
+            self._tracer.complete("degrade_redo", started, self.env.now,
+                                  "fault", "faults",
+                                  {"pages": len(targets)})
 
     def _clear_ssd_state(self) -> None:
         """Forget the mapping (detach / cold restart)."""

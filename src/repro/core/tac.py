@@ -139,10 +139,10 @@ class TemperatureAwareManager(SsdManagerBase):
             frame.io_busy = None
             frame.busy_reason = None
             busy.succeed()
-            self._tracer.complete("admission_write", started, self.env.now,
-                                  "ssd", "ssd_manager",
-                                  {"page": frame.page_id}
-                                  if self._tracer.enabled else None)
+            if self._tracer.enabled:
+                self._tracer.complete("admission_write", started,
+                                      self.env.now, "ssd", "ssd_manager",
+                                      {"page": frame.page_id})
 
     def _admit(self, page_id: int) -> bool:
         """Temperature admission: always before the fill threshold, then

@@ -182,11 +182,11 @@ class BufferPool:
                     by_reason = self.stats.latch_wait_by_reason
                     by_reason[reason] = by_reason.get(reason, 0.0) + waited
                     self._tm_latch_wait_seconds.observe(waited)
-                    self._tracer.complete("latch_wait", started, self.env.now,
-                                          "bp", "buffer_pool",
-                                          {"reason": reason}
-                                          if self._tracer.enabled else None,
-                                          ctx=ctx)
+                    if self._tracer.enabled:
+                        self._tracer.complete("latch_wait", started,
+                                              self.env.now, "bp",
+                                              "buffer_pool",
+                                              {"reason": reason}, ctx=ctx)
                     continue
                 frame.pin_count += 1
                 self._touch(frame)
@@ -198,8 +198,10 @@ class BufferPool:
             if pending is not None:
                 started = self.env.now
                 yield pending
-                self._tracer.complete("inflight_wait", started, self.env.now,
-                                      "bp", "buffer_pool", ctx=ctx)
+                if self._tracer.enabled:
+                    self._tracer.complete("inflight_wait", started,
+                                          self.env.now, "bp", "buffer_pool",
+                                          ctx=ctx)
                 continue
 
             # Miss: this process performs the read.
@@ -231,11 +233,11 @@ class BufferPool:
         if version is not None:
             self.stats.ssd_hits += 1
             self._tm_ssd_hit.inc()
-            self._tracer.complete("bp_miss", miss_started, self.env.now,
-                                  "bp", "buffer_pool",
-                                  {"page": page_id, "src": "ssd"}
-                                  if self._tracer.enabled else None,
-                                  ctx=ctx)
+            if self._tracer.enabled:
+                self._tracer.complete("bp_miss", miss_started, self.env.now,
+                                      "bp", "buffer_pool",
+                                      {"page": page_id, "src": "ssd"},
+                                      ctx=ctx)
             frame = Frame(page_id, version, sequential=False)
             if (version > self.disk.disk_version(page_id)
                     and not self.ssd.contains_valid(page_id)):
@@ -259,11 +261,11 @@ class BufferPool:
             frame = Frame(page_id, versions[0], sequential=False)
             self.frames[page_id] = frame
         self.ssd.on_read_from_disk(frame)
-        self._tracer.complete("bp_miss", miss_started, self.env.now,
-                              "bp", "buffer_pool",
-                              {"page": page_id, "src": "disk"}
-                              if self._tracer.enabled else None,
-                              ctx=ctx)
+        if self._tracer.enabled:
+            self._tracer.complete("bp_miss", miss_started, self.env.now,
+                                  "bp", "buffer_pool",
+                                  {"page": page_id, "src": "disk"},
+                                  ctx=ctx)
         return frame
 
     def _expanded_read(self, page_id: PageId, ctx=None):
@@ -324,11 +326,10 @@ class BufferPool:
                 # not double-attributed to the transaction.
                 started = self.env.now
                 yield self.env.all_of(ios)
-                self._tracer.complete("prefetch_wait", started, self.env.now,
-                                      "bp", "buffer_pool",
-                                      {"pages": len(wanted)}
-                                      if self._tracer.enabled else None,
-                                      ctx=ctx)
+                if self._tracer.enabled:
+                    self._tracer.complete("prefetch_wait", started,
+                                          self.env.now, "bp", "buffer_pool",
+                                          {"pages": len(wanted)}, ctx=ctx)
         finally:
             self._reserved = max(0, self._reserved - len(wanted))
             for pid in wanted:
@@ -534,8 +535,9 @@ class BufferPool:
                 self._kick_lazywriter()
                 yield self._frame_freed
         finally:
-            self._tracer.complete("free_wait", started, self.env.now,
-                                  "bp", "buffer_pool", ctx=ctx)
+            if self._tracer.enabled:
+                self._tracer.complete("free_wait", started, self.env.now,
+                                      "bp", "buffer_pool", ctx=ctx)
 
     def _evict(self, victim: Frame):
         """Process step: write out (per design) and drop one frame."""
@@ -552,18 +554,18 @@ class BufferPool:
                 # the page goes to the SSD or disk (§2.4).
                 yield from self.wal.force(victim.page_lsn, ctx=EVICTION_CTX)
                 yield from self.ssd.on_evict_dirty(victim)
-                tracer.complete("evict_dirty", started, self.env.now,
-                                "bp", "buffer_pool",
-                                {"page": victim.page_id}
-                                if tracer.enabled else None)
+                if tracer.enabled:
+                    tracer.complete("evict_dirty", started, self.env.now,
+                                    "bp", "buffer_pool",
+                                    {"page": victim.page_id})
             else:
                 self.stats.evictions_clean += 1
                 self._tm_evict_clean.inc()
                 yield from self.ssd.on_evict_clean(victim)
-                tracer.complete("evict_clean", started, self.env.now,
-                                "bp", "buffer_pool",
-                                {"page": victim.page_id}
-                                if tracer.enabled else None)
+                if tracer.enabled:
+                    tracer.complete("evict_clean", started, self.env.now,
+                                    "bp", "buffer_pool",
+                                    {"page": victim.page_id})
         finally:
             if self.frames.get(victim.page_id) is victim:
                 del self.frames[victim.page_id]

@@ -101,10 +101,10 @@ class Checkpointer:
         self.durations.append(self.env.now - started)
         self._tm_checkpoints.inc()
         self._tm_duration.observe(self.env.now - started)
-        self._tracer.complete("checkpoint", started, self.env.now,
-                              "checkpoint", "checkpoint",
-                              {"dirty_pages": dirty_count}
-                              if self._tracer.enabled else None)
+        if self._tracer.enabled:
+            self._tracer.complete("checkpoint", started, self.env.now,
+                                  "checkpoint", "checkpoint",
+                                  {"dirty_pages": dirty_count})
 
     def _flush_one(self, frame: Frame):
         """Flush one dirty frame via the design's checkpoint-write hook."""
@@ -150,7 +150,7 @@ class FuzzyCheckpointer(Checkpointer):
         self.durations.append(self.env.now - started)
         self._tm_checkpoints.inc()
         self._tm_duration.observe(self.env.now - started)
-        self._tracer.complete("fuzzy_checkpoint", started, self.env.now,
-                              "checkpoint", "checkpoint",
-                              {"redo_from": redo_from}
-                              if self._tracer.enabled else None)
+        if self._tracer.enabled:
+            self._tracer.complete("fuzzy_checkpoint", started, self.env.now,
+                                  "checkpoint", "checkpoint",
+                                  {"redo_from": redo_from})

@@ -114,8 +114,9 @@ class WriteAheadLog:
             self.env.process(self._flush_loop())
         started = self.env.now
         yield done
-        self._tracer.complete("wal_wait", started, self.env.now,
-                              "wal", "wal", ctx=ctx)
+        if self._tracer.enabled:
+            self._tracer.complete("wal_wait", started, self.env.now,
+                                  "wal", "wal", ctx=ctx)
 
     def _flush_loop(self):
         while self._waiters:
@@ -129,10 +130,10 @@ class WriteAheadLog:
             yield from self._flush_with_retry(request)
             self._tm_flushes.inc()
             self._tm_pages_flushed.inc(npages)
-            self._tracer.complete("flush", flush_started, self.env.now,
-                                  "wal", "wal",
-                                  {"pages": npages, "records": pending}
-                                  if self._tracer.enabled else None)
+            if self._tracer.enabled:
+                self._tracer.complete("flush", flush_started, self.env.now,
+                                      "wal", "wal",
+                                      {"pages": npages, "records": pending})
             self.flushed_lsn = target
             still_waiting = []
             for lsn, event in self._waiters:

@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import gc
-import heapq
-from itertools import count
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional, Union
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
@@ -21,12 +20,21 @@ class Environment:
     Time is a float in *virtual seconds* starting at ``initial_time``.
     Events scheduled at the same instant are processed in scheduling order,
     which makes runs fully deterministic.
+
+    The scheduler is the hottest code in the repository (every benchmark
+    figure is millions of events), so the hot paths are hand-flattened:
+    the tie-break sequence is a plain int (not an ``itertools.count``),
+    event factories push onto the heap directly, and :meth:`run` inlines
+    the :meth:`step` loop with the queue and heap functions hoisted into
+    locals.  ``self._queue`` is mutated in place and never rebound —
+    :meth:`wipe` relies on that, and so do the hoisted aliases in
+    :meth:`run`.
     """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []  # (time, seq, event)
-        self._seq = count()
+        self._seq = 0  # same-instant tie-break, incremented per schedule
         self._active_process: Optional[Process] = None
         self._crash: Optional[BaseException] = None
 
@@ -70,7 +78,8 @@ class Environment:
 
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event for processing at ``now + delay``."""
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -79,7 +88,7 @@ class Environment:
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
         try:
-            when, _, event = heapq.heappop(self._queue)
+            when, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events remain") from None
         self._now = when
@@ -112,13 +121,25 @@ class Environment:
                 raise ValueError(
                     f"until ({stop_at}) must not be before now ({self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        # The inlined step loop.  ``queue`` aliases self._queue (mutated in
+        # place everywhere, including wipe()), so the alias stays valid
+        # across callbacks that crash or wipe the environment.
+        queue = self._queue
+        pop = heappop
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if self.peek() > stop_at:
+            if queue[0][0] > stop_at:
                 self._now = stop_at
                 return None
-            self.step()
+            when, _, event = pop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+                if self._crash is not None:
+                    crash, self._crash = self._crash, None
+                    raise crash
 
         if stop_event is not None:
             if not stop_event.processed:

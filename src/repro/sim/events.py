@@ -4,10 +4,17 @@ An :class:`Event` is a one-shot occurrence at a point in virtual time.
 Processes wait on events by ``yield``-ing them; when the event is triggered
 the kernel resumes every waiting process with the event's value (or raises
 the event's exception inside the process).
+
+The classes here are on the hottest path of the simulator (every I/O,
+latch wait, and client think-time is an event), so they are written for
+throughput: ``__slots__`` everywhere, and :meth:`Event.succeed` /
+:meth:`Event.fail` push straight onto the environment's heap instead of
+going through a scheduling call.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 #: Sentinel for "event has not been given a value yet".
@@ -35,6 +42,8 @@ class Event:
     Life cycle: *pending* → *triggered* (scheduled on the event queue with a
     value or an exception) → *processed* (callbacks have run).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
 
     def __init__(self, env: "Environment"):  # noqa: F821 (forward ref)
         self.env = env
@@ -66,11 +75,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -79,13 +90,15 @@ class Event:
         The exception is raised inside every process that waits on the
         event.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, seq, self))
         return self
 
     def __repr__(self) -> str:
@@ -97,14 +110,20 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ + schedule: a Timeout is born triggered,
+        # so the generic pending-state checks are dead weight here.
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now + delay, seq, self))
 
     @property
     def triggered(self) -> bool:
@@ -114,6 +133,8 @@ class Timeout(Event):
 class _Condition(Event):
     """Base for events composed of several child events."""
 
+    __slots__ = ("events", "_done")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
         super().__init__(env)
         self.events = list(events)
@@ -122,16 +143,16 @@ class _Condition(Event):
             self.succeed({})
             return
         for event in self.events:
-            if event.processed:
+            if event.callbacks is None:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
             return
         self._done += 1
         if self._satisfied():
@@ -151,12 +172,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers once every child event has triggered successfully."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._done == len(self.events)
 
 
 class AnyOf(_Condition):
     """Triggers as soon as any child event triggers successfully."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._done >= 1

@@ -7,6 +7,11 @@ expression (or having the event's exception raised at the yield point).
 
 A :class:`Process` is itself an event: it triggers when the generator
 returns, with the generator's return value.
+
+:meth:`Process._resume` is the single hottest function in the simulator —
+every event a process waits on funnels through it once — so its common
+path (send a value in, get the next wait target out, subscribe) touches
+only slot attributes and locals.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from repro.sim.events import Event, Interrupt, SimulationError
 
 class Process(Event):
     """A running simulation process (and the event of its completion)."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
         if not hasattr(generator, "send"):
@@ -54,15 +61,18 @@ class Process(Event):
         interrupt_event.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        send = generator.send
+        env._active_process = self
         try:
             while True:
                 try:
-                    if event is None or event.ok:
-                        value = None if event is None else event.value
-                        target = self._generator.send(value)
+                    if event is None or event._ok:
+                        target = send(None if event is None
+                                      else event._value)
                     else:
-                        target = self._generator.throw(event.value)
+                        target = generator.throw(event._value)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -77,7 +87,7 @@ class Process(Event):
                         f"process yielded a non-event: {target!r}")
                     self._target = None
                     try:
-                        self._generator.throw(exc)
+                        generator.throw(exc)
                     except StopIteration as stop:
                         self.succeed(stop.value)
                         return
@@ -86,7 +96,7 @@ class Process(Event):
                         return
                     continue
 
-                if target.processed:
+                if target.callbacks is None:
                     # Already processed: loop immediately with its value.
                     event = target
                     continue
@@ -94,7 +104,7 @@ class Process(Event):
                 target.callbacks.append(self._resume)
                 return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
     def _fail_or_crash(self, exc: BaseException) -> None:
         """Propagate an uncaught process exception.

@@ -18,6 +18,8 @@ class Request(Event):
             ... hold the resource ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -97,9 +99,13 @@ class Resource:
 class StoreGet(Event):
     """Pending retrieval of one item from a :class:`Store`."""
 
+    __slots__ = ()
+
 
 class StorePut(Event):
     """Completed insertion of one item into a :class:`Store`."""
+
+    __slots__ = ()
 
 
 class Store:

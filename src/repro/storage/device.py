@@ -199,10 +199,12 @@ class Device:
                     self.stats.record(request, service)
                     self._tm_requests[request.kind].inc()
                     self._tm_pages[request.kind].inc(request.npages)
-                    self._tracer.complete(KIND_LABELS[request.kind],
-                                          request.submitted_at, self.env.now,
-                                          "io", self._trace_track,
-                                          ctx=request.ctx)
+                    if self._tracer.enabled:
+                        self._tracer.complete(KIND_LABELS[request.kind],
+                                              request.submitted_at,
+                                              self.env.now, "io",
+                                              self._trace_track,
+                                              ctx=request.ctx)
                     if self.traffic is not None:
                         self.traffic.record(self.env.now, request)
         finally:

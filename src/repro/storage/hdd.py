@@ -153,10 +153,11 @@ class HddArray(Device):
             if failure is None:
                 request.completed_at = self.env.now
                 self._tm_requests[request.kind].inc()
-                self._tracer.complete(KIND_LABELS[request.kind],
-                                      request.submitted_at,
-                                      self.env.now, "io", self._trace_track,
-                                      ctx=request.ctx)
+                if self._tracer.enabled:
+                    self._tracer.complete(KIND_LABELS[request.kind],
+                                          request.submitted_at, self.env.now,
+                                          "io", self._trace_track,
+                                          ctx=request.ctx)
         finally:
             # Same rule as Device._serve: never leak the outstanding
             # count, or ``pending`` inflates and wedges the throttle.

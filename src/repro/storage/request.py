@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Database page size used throughout the reproduction (SQL Server's 8 KB).
@@ -47,7 +46,6 @@ class IoKind(enum.Enum):
             raise ValueError(f"unknown I/O direction {direction!r}") from None
 
 
-@dataclass
 class IORequest:
     """A single I/O against a device.
 
@@ -57,25 +55,39 @@ class IORequest:
     classification, which on real hardware determines whether a seek is
     paid and in this reproduction feeds both the service-time model and the
     SSD admission policy.
+
+    A slotted plain class, not a dataclass: one is allocated per device
+    I/O, which makes construction part of the simulator's hot path.
     """
 
-    kind: IoKind
-    address: int
-    npages: int = 1
-    tag: Any = None
-    #: Trace context of the transaction (or background activity) that
-    #: caused this I/O; carried onto the device's trace events.
-    ctx: Any = None
-    #: Filled in by the device at completion time (virtual seconds).
-    submitted_at: Optional[float] = None
-    completed_at: Optional[float] = None
-    extra: dict = field(default_factory=dict)
+    __slots__ = ("kind", "address", "npages", "tag", "ctx",
+                 "submitted_at", "completed_at", "extra")
 
-    def __post_init__(self) -> None:
-        if self.npages < 1:
-            raise ValueError(f"npages must be >= 1, got {self.npages}")
-        if self.address < 0:
-            raise ValueError(f"address must be >= 0, got {self.address}")
+    def __init__(self, kind: IoKind, address: int, npages: int = 1,
+                 tag: Any = None, ctx: Any = None,
+                 submitted_at: Optional[float] = None,
+                 completed_at: Optional[float] = None,
+                 extra: Optional[dict] = None):
+        if npages < 1:
+            raise ValueError(f"npages must be >= 1, got {npages}")
+        if address < 0:
+            raise ValueError(f"address must be >= 0, got {address}")
+        self.kind = kind
+        self.address = address
+        self.npages = npages
+        self.tag = tag
+        #: Trace context of the transaction (or background activity) that
+        #: caused this I/O; carried onto the device's trace events.
+        self.ctx = ctx
+        #: Filled in by the device at completion time (virtual seconds).
+        self.submitted_at = submitted_at
+        self.completed_at = completed_at
+        #: Scratch space for device models; allocated lazily by callers.
+        self.extra = extra
+
+    def __repr__(self) -> str:
+        return (f"IORequest(kind={self.kind!r}, address={self.address}, "
+                f"npages={self.npages})")
 
     @property
     def nbytes(self) -> int:

@@ -95,7 +95,7 @@ class Transaction:
                 for page_id, version in self.writes:
                     if version > self.oracle.get(page_id, -1):
                         self.oracle[page_id] = version
-        if self.ctx is not None:
+        if self.ctx is not None and self._tracer.enabled:
             self._tracer.complete(self.txn_type, self._started,
                                   self._tracer.now, "txn", "txn",
                                   {"writes": len(self.writes)},

@@ -139,3 +139,57 @@ class TestPropertyBased:
                 else:
                     assert actual.prev_access == min(live.values())
                     live.pop(actual.frame_no)
+
+
+class TestCompaction:
+    """The lazy heap must not grow without bound under churn."""
+
+    def test_heap_length_stays_bounded_under_churn(self):
+        heap = clean_heap()
+        records = make_records(10)
+        # Re-push the same 10 records thousands of times: without
+        # compaction the heap would hold ~10,000 stale entries.
+        for round_no in range(1_000):
+            for record in records:
+                record.prev_access = float(round_no)
+                heap.push(record)
+        assert heap.live_count == 10
+        assert len(heap) <= max(LazyMinHeap.MIN_COMPACT, 2 * 10) + 10
+
+    def test_remove_churn_stays_bounded(self):
+        heap = clean_heap()
+        records = make_records(4)
+        for round_no in range(2_000):
+            for record in records:
+                record.prev_access = float(round_no)
+                heap.push(record)
+            for record in records[:3]:
+                heap.remove(record)
+        assert heap.live_count == 1
+        assert len(heap) <= LazyMinHeap.MIN_COMPACT + 2 * 4 + 4
+
+    def test_compaction_preserves_pop_order(self):
+        heap = clean_heap()
+        records = make_records(50)
+        for round_no in range(200):
+            for record in records:
+                record.prev_access = float(round_no * 50 + record.frame_no)
+                heap.push(record)
+        popped = []
+        while True:
+            record = heap.pop()
+            if record is None:
+                break
+            popped.append(record.frame_no)
+        # Final keys are round 199's: ordered by frame_no.
+        assert popped == list(range(50))
+
+    def test_small_heaps_never_compact(self):
+        heap = clean_heap()
+        records = make_records(2)
+        for round_no in range(10):
+            for record in records:
+                record.prev_access = float(round_no)
+                heap.push(record)
+        # 20 entries, 18 stale: below MIN_COMPACT, left alone.
+        assert len(heap) == 20

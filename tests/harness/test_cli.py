@@ -171,3 +171,44 @@ class TestAnalyzeCommand:
         bad.write_text("not a trace\n")
         assert main(["analyze", str(bad)]) == 2
         assert "analyze:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_runs_grid_and_writes_output(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main(["sweep", "--benchmark", "tpcc", "--scales", "10,20",
+                     "--designs", "noSSD,LC", "--profile", "tiny",
+                     "--duration", "2", "--workers-per-run", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--output", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "4 runs" in captured.out
+        assert "0 cached, 4 computed" in captured.out
+        import json as _json
+        doc = _json.loads(out.read_text())
+        assert len(doc["runs"]) == 4
+        assert all(row["value"] > 0 for row in doc["runs"])
+        # Second invocation: all four cells come from the cache.
+        code = main(["sweep", "--benchmark", "tpcc", "--scales", "10,20",
+                     "--designs", "noSSD,LC", "--profile", "tiny",
+                     "--duration", "2", "--workers-per-run", "2",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "4 cached, 0 computed" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_design(self, capsys):
+        assert main(["sweep", "--designs", "WARP"]) == 2
+
+    def test_sweep_rejects_bad_scales(self, capsys):
+        assert main(["sweep", "--scales", "ten"]) == 2
+
+    def test_sweep_no_cache_always_computes(self, capsys, tmp_path):
+        args = ["sweep", "--benchmark", "tpcc", "--scales", "10",
+                "--designs", "noSSD", "--profile", "tiny",
+                "--duration", "2", "--workers-per-run", "2", "--no-cache",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert "0 cached, 1 computed" in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()

@@ -1,0 +1,175 @@
+"""The parallel sweep runner's on-disk cache: keys, hits, corruption."""
+
+import json
+
+import pytest
+
+from repro.harness.sweep import (
+    RunSpec,
+    cache_load,
+    cache_store,
+    execute,
+    restore,
+    run_cached,
+    run_sweep,
+    snapshot,
+    spec_key,
+    summarize,
+)
+
+SPEC = RunSpec(kind="oltp", benchmark="tpcc", scale=20, design="LC",
+               profile="tiny", duration=4.0, nworkers=4)
+
+
+@pytest.fixture(scope="module")
+def live_result():
+    """One shared live run (the slow part happens once per module)."""
+    return execute(SPEC)
+
+
+class TestSpecKeys:
+    def test_key_is_stable(self):
+        assert spec_key(SPEC) == spec_key(RunSpec.from_dict(SPEC.to_dict()))
+
+    @pytest.mark.parametrize("field,value", [
+        ("design", "DW"),
+        ("scale", 21),
+        ("duration", 4.5),
+        ("nworkers", 5),
+        ("seed", 1),
+        ("dirty_threshold", 0.25),
+        ("checkpoint_interval", 2.0),
+        ("expand_reads", True),
+        ("profile", "small"),
+        ("bucket_seconds", 1.0),
+        ("benchmark", "tpce"),
+    ])
+    def test_any_config_field_change_moves_the_key(self, field, value):
+        data = SPEC.to_dict()
+        data[field] = value
+        assert spec_key(RunSpec.from_dict(data)) != spec_key(SPEC)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec(kind="nope", benchmark="tpcc", scale=1, design="LC")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec(kind="oltp", benchmark="tpcc", scale=1, design="LC",
+                    profile="gigantic")
+
+
+class TestRoundTrip:
+    def test_hit_returns_bit_identical_metrics(self, live_result, tmp_path):
+        cache_store(SPEC, snapshot(live_result), tmp_path)
+        restored = restore(cache_load(SPEC, tmp_path))
+        assert restored.buckets == live_result.buckets
+        assert restored.txn_counts == live_result.txn_counts
+        assert (restored.steady_state_throughput()
+                == live_result.steady_state_throughput())
+        assert restored.throughput_series() == live_result.throughput_series()
+        # Snapshotting the restored result reproduces the stored bytes.
+        assert (json.dumps(snapshot(restored), sort_keys=True)
+                == json.dumps(snapshot(live_result), sort_keys=True))
+
+    def test_restored_system_counters_match(self, live_result, tmp_path):
+        cache_store(SPEC, snapshot(live_result), tmp_path)
+        restored = restore(cache_load(SPEC, tmp_path))
+        live_sys = live_result.system
+        got = restored.system
+        assert vars(got.bp.stats) == vars(live_sys.bp.stats)
+        assert got.ssd_manager.stats == live_sys.ssd_manager.stats
+        assert got.ssd_manager.dirty_frames == live_sys.ssd_manager.dirty_frames
+        assert (got.ssd_manager.config.dirty_limit_frames
+                == live_sys.ssd_manager.config.dirty_limit_frames)
+        assert (got.checkpointer.checkpoints_taken
+                == live_sys.checkpointer.checkpoints_taken)
+
+    def test_restored_sampler_and_latencies_work(self, live_result,
+                                                 tmp_path):
+        cache_store(SPEC, snapshot(live_result), tmp_path)
+        restored = restore(cache_load(SPEC, tmp_path))
+        assert (restored.sampler.fill_time(1)
+                == live_result.sampler.fill_time(1))
+        assert (restored.sampler.dirty_cross_time(0)
+                == live_result.sampler.dirty_cross_time(0))
+        assert [vars(s) for s in restored.sampler.samples] \
+            == [vars(s) for s in live_result.sampler.samples]
+        assert restored.latencies.summary() == live_result.latencies.summary()
+
+    def test_config_change_is_a_miss(self, live_result, tmp_path):
+        cache_store(SPEC, snapshot(live_result), tmp_path)
+        other = RunSpec.from_dict({**SPEC.to_dict(), "seed": 999})
+        assert cache_load(other, tmp_path) is None
+
+
+class TestCorruption:
+    def test_missing_cache_dir_is_a_miss(self, tmp_path):
+        assert cache_load(SPEC, tmp_path / "nope") is None
+
+    def test_truncated_file_recomputes_not_crashes(self, live_result,
+                                                   tmp_path):
+        path = cache_store(SPEC, snapshot(live_result), tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache_load(SPEC, tmp_path) is None
+
+    def test_garbage_file_recomputes_not_crashes(self, live_result,
+                                                 tmp_path):
+        path = cache_store(SPEC, snapshot(live_result), tmp_path)
+        path.write_text("not json at all {{{")
+        assert cache_load(SPEC, tmp_path) is None
+
+    def test_wrong_structure_recomputes_not_crashes(self, live_result,
+                                                    tmp_path):
+        path = cache_store(SPEC, snapshot(live_result), tmp_path)
+        path.write_text(json.dumps({"snapshot": {"kind": "martian"}}))
+        assert cache_load(SPEC, tmp_path) is None
+        path.write_text(json.dumps({"unexpected": 1}))
+        assert cache_load(SPEC, tmp_path) is None
+
+    def test_run_cached_recovers_from_corruption(self, tmp_path):
+        spec = RunSpec(kind="oltp", benchmark="tpcc", scale=10,
+                       design="noSSD", profile="tiny", duration=2.0,
+                       nworkers=2)
+        first = run_cached(spec, tmp_path)
+        path = tmp_path / f"{spec_key(spec)}.json"
+        path.write_text("corrupted")
+        second = run_cached(spec, tmp_path)  # recomputes silently
+        assert second.buckets == first.buckets
+        # And the cache file was rewritten with a valid snapshot.
+        assert cache_load(spec, tmp_path) is not None
+
+
+class TestSweep:
+    def test_serial_sweep_caches_and_summarizes(self, tmp_path):
+        specs = [
+            RunSpec(kind="oltp", benchmark="tpcc", scale=10, design=design,
+                    profile="tiny", duration=2.0, nworkers=2)
+            for design in ("noSSD", "LC")
+        ]
+        lines = []
+        first = run_sweep(specs, workers=1, directory=tmp_path,
+                          progress=lines.append)
+        assert first.computed == 2 and first.cached == 0
+        assert len(lines) == 2
+        second = run_sweep(specs, workers=1, directory=tmp_path)
+        assert second.cached == 2 and second.computed == 0
+        for spec in specs:
+            assert (second.results[spec].buckets
+                    == first.results[spec].buckets)
+        rows = summarize(second)
+        assert [row["spec"]["design"] for row in rows] == ["LC", "noSSD"]
+        assert all(row["metric"] == "tpmC" for row in rows)
+
+    def test_duplicate_specs_collapse(self, tmp_path):
+        spec = RunSpec(kind="oltp", benchmark="tpcc", scale=10,
+                       design="noSSD", profile="tiny", duration=2.0,
+                       nworkers=2)
+        report = run_sweep([spec, spec, spec], workers=1,
+                           directory=tmp_path)
+        assert len(report.results) == 1
+        assert report.computed + report.cached == 1
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            run_sweep([], workers=0)
