@@ -11,6 +11,8 @@ Commands:
   processes through the on-disk run cache.
 * ``analyze`` — reconstruct per-transaction latency attribution from
   ``--trace`` output and emit terminal/HTML/JSON reports.
+* ``lint``    — run the repo-specific AST invariant checker
+  (``repro.statics``) over the sources.
 """
 
 from __future__ import annotations
@@ -378,6 +380,12 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the static invariant checker (see repro.statics)."""
+    from repro.statics.cli import run_lint
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -479,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="workload label for the reports "
                                 "(default: oltp)")
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific AST invariant checker")
+    from repro.statics.cli import add_lint_arguments
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

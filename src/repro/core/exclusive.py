@@ -36,10 +36,24 @@ class ExclusiveSsdManager(SsdManagerBase):
         it to the SSD or disk.
         """
         version = record.version
+        page_id = record.page_id
         self.stats.reads += 1
-        frame_no = record.frame_no
-        self._drop_record(record)
-        yield self.device.read(frame_no, 1, random=True, ctx=ctx)
+        must = version > self.disk.disk_version(page_id)
+        ok = yield from self._ssd_read_frame(record.frame_no, must=must,
+                                             ctx=ctx)
+        if not ok:
+            if must:
+                # The device died holding the only newest copy; the
+                # record is still in the table, so degradation redo
+                # restores it to disk before the detach completes.
+                yield from self._await_detach()
+            return None
+        # Drop only after the read, and only if the record still maps
+        # this page: a concurrent replacement may have reused the frame
+        # while the read (and any retries) ran.
+        if (record.valid and record.page_id == page_id
+                and record.version == version):
+            self._drop_record(record)
         return version
 
     def on_evict_clean(self, frame: Frame):
@@ -72,8 +86,14 @@ class ExclusiveSsdManager(SsdManagerBase):
             if not (record.valid and record.dirty):
                 continue
             if record.version > self.disk.disk_version(record.page_id):
-                yield self.device.read(record.frame_no, 1, random=True,
-                                       ctx=CHECKPOINT_CTX)
+                ok = yield from self._ssd_read_frame(record.frame_no,
+                                                     must=True,
+                                                     ctx=CHECKPOINT_CTX)
+                if not ok:
+                    # SSD death mid-checkpoint: the in-flight detach
+                    # redoes every remaining dirty page from the log.
+                    yield from self._await_detach()
+                    return
                 yield from self.disk.write(record.page_id, record.version,
                                            sequential=False,
                                            ctx=CHECKPOINT_CTX)

@@ -36,7 +36,7 @@ class LazyMinHeap:
     MIN_COMPACT = 64
 
     def __init__(self, key: Callable[[SsdRecord], float],
-                 member: Callable[[SsdRecord], bool]):
+                 member: Callable[[SsdRecord], bool]) -> None:
         self._key = key
         self._member = member
         self._heap: List[Tuple[float, int, SsdRecord]] = []

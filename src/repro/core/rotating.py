@@ -32,6 +32,12 @@ class RotatingSsdManager(SsdManagerBase):
         self._next_frame = 0
 
     def on_evict_clean(self, frame: Frame):
+        if self.detached:
+            if frame.version > self.disk.disk_version(frame.page_id):
+                yield from self.disk.write(frame.page_id, frame.version,
+                                           sequential=False,
+                                           ctx=EVICTION_CTX)
+            return
         existing = self.table.lookup_valid(frame.page_id)
         if existing is not None:
             existing.record_access(self.env.now)
@@ -41,6 +47,10 @@ class RotatingSsdManager(SsdManagerBase):
                                    > self.disk.disk_version(frame.page_id))
 
     def on_evict_dirty(self, frame: Frame):
+        if self.detached:
+            yield from self.disk.write(frame.page_id, frame.version,
+                                       sequential=False, ctx=EVICTION_CTX)
+            return
         existing = self.table.lookup_valid(frame.page_id)
         if existing is not None:
             self._drop_record(existing)
@@ -77,14 +87,32 @@ class RotatingSsdManager(SsdManagerBase):
         if displaced is not None:
             # The displaced page's newest copy lived here: it goes to
             # disk via memory (read the old frame content, write it out).
-            yield self.device.read(record.frame_no, 1, random=True,
-                                   ctx=EVICTION_CTX)
+            # The read is a must (sole newest copy), but the disk write
+            # proceeds even if the SSD died mid-read: the displaced
+            # record was already dropped from the table, so degradation
+            # redo no longer covers it — the durable WAL does (rotating
+            # installs with rec_lsn=0, which blocks log truncation).
+            yield from self._ssd_read_frame(record.frame_no, must=True,
+                                            ctx=EVICTION_CTX)
             yield from self.disk.write(displaced[0], displaced[1],
                                        sequential=False, ctx=EVICTION_CTX)
         self.stats.writes += 1
         # The whole point of the design: the SSD write is sequential.
-        yield self.device.write(record.frame_no, 1, random=False,
-                                ctx=EVICTION_CTX)
+        ok = yield from self._ssd_io(
+            lambda: self.device.write(record.frame_no, 1, random=False,
+                                      ctx=EVICTION_CTX))
+        if not ok:
+            # The image never reached the SSD: the record must not claim
+            # it did.  Guard against the record having been invalidated
+            # or reused while the failed write (and retries) ran.
+            if (record.valid and record.page_id == page_id
+                    and record.version == version):
+                self._drop_record(record)
+            if dirty:
+                # The newest copy must not be dropped with it.
+                yield from self.disk.write(page_id, version,
+                                           sequential=False,
+                                           ctx=EVICTION_CTX)
 
     def on_checkpoint(self):
         """Flush every dirty SSD page (same obligation as LC)."""
@@ -92,8 +120,14 @@ class RotatingSsdManager(SsdManagerBase):
             if not (record.valid and record.dirty):
                 continue
             if record.version > self.disk.disk_version(record.page_id):
-                yield self.device.read(record.frame_no, 1, random=True,
-                                       ctx=CHECKPOINT_CTX)
+                ok = yield from self._ssd_read_frame(record.frame_no,
+                                                     must=True,
+                                                     ctx=CHECKPOINT_CTX)
+                if not ok:
+                    # SSD death mid-checkpoint: the in-flight detach
+                    # redoes every remaining dirty page from the log.
+                    yield from self._await_detach()
+                    return
                 yield from self.disk.write(record.page_id, record.version,
                                            sequential=False,
                                            ctx=CHECKPOINT_CTX)

@@ -19,7 +19,7 @@ Methods documented as *process steps* are generators to be driven with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence
 
 from repro.faults.errors import (

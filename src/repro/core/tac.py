@@ -26,7 +26,7 @@ matching the paper's implementation notes (§3.3.1–3.3.2).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict
 
 from repro.core.heaps import LazyMinHeap
 from repro.core.ssd_manager import SsdManagerBase

@@ -18,17 +18,24 @@ bit-identically for a given plan + seed.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.faults.errors import DeviceDeadError, TransientIoError
 from repro.telemetry import NULL_TELEMETRY
+
+if TYPE_CHECKING:
+    from repro.sim.environment import Environment
+    from repro.storage.device import Device
+    from repro.storage.request import IORequest
+    from repro.telemetry import Telemetry
 
 
 class FaultInjector:
     """Seeded fault source for a single device."""
 
-    def __init__(self, env, device, rng: Optional[random.Random] = None,
-                 telemetry=None):
+    def __init__(self, env: "Environment", device: "Device",
+                 rng: Optional[random.Random] = None,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.env = env
         self.device = device
         self.rng = rng or random.Random(0)
@@ -50,7 +57,7 @@ class FaultInjector:
             labelnames=("device", "kind"))
         device.attach_faults(self)
 
-    def _record(self, kind: str, **args) -> None:
+    def _record(self, kind: str, **args: Any) -> None:
         self.stats[kind] = self.stats.get(kind, 0) + 1
         self._tm_faults.labels(device=self.device.name, kind=kind).inc()
         if self._tracer.enabled:
@@ -61,14 +68,15 @@ class FaultInjector:
     # Lifecycle hooks (called by Device.submit/_serve)
     # ------------------------------------------------------------------
 
-    def on_submit(self, request) -> Optional[Exception]:
+    def on_submit(self, request: "IORequest") -> Optional[Exception]:
         """Reject a request against a dead device (before queueing)."""
         if self.dead:
             self._record("dead_submit")
             return DeviceDeadError(f"{self.device.name} has failed")
         return None
 
-    def pre_service_delay(self, request, service: float) -> float:
+    def pre_service_delay(self, request: "IORequest",
+                          service: float) -> float:
         """Extra virtual seconds to wait before serving ``request``."""
         extra = 0.0
         if self.stall_until > self.env.now:
@@ -79,7 +87,7 @@ class FaultInjector:
             self._record("latency")
         return extra
 
-    def on_complete(self, request) -> Optional[Exception]:
+    def on_complete(self, request: "IORequest") -> Optional[Exception]:
         """Fault to report instead of a successful completion, if any."""
         if self.dead:
             self._record("dead_inflight")

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import (TYPE_CHECKING, Dict, Generator, List, Optional, Set,
+                    Tuple)
 
 from repro.faults.injector import FaultInjector
 
+if TYPE_CHECKING:
+    from repro.harness.system import System
+
 #: Known fault kinds and the parameters each accepts.
-_KINDS = {
+_KINDS: Dict[str, Set[str]] = {
     "transient": {"p", "device"},
     "latency": {"p", "x", "device"},
     "ssd_die": {"t"},
@@ -35,9 +39,9 @@ _KINDS = {
     "disk_stall": {"t", "dur"},
     "ssd_stall": {"t", "dur"},
 }
-_DEVICES = ("disk", "ssd", "log")
-_STALL_DEVICE = {"log_stall": "log", "disk_stall": "disk",
-                 "ssd_stall": "ssd"}
+_DEVICES: Tuple[str, ...] = ("disk", "ssd", "log")
+_STALL_DEVICE: Dict[str, str] = {"log_stall": "log", "disk_stall": "disk",
+                                 "ssd_stall": "ssd"}
 
 
 @dataclass(frozen=True)
@@ -55,7 +59,7 @@ class FaultSpec:
 class FaultPlan:
     """A schedule of faults, installable onto a running system."""
 
-    def __init__(self, specs: List[FaultSpec], seed: int = 20110612):
+    def __init__(self, specs: List[FaultSpec], seed: int = 20110612) -> None:
         self.specs = list(specs)
         self.seed = seed
         #: Populated by :meth:`install`: device role -> injector.
@@ -116,20 +120,23 @@ class FaultPlan:
         elif kind == "ssd_die":
             device = "ssd"
         p = _float("p", 0.0)
+        assert p is not None  # default is non-None
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p={p} in {clause!r} must be in [0, 1]")
         at = _float("t", None)
         if kind in ("ssd_die",) + tuple(_STALL_DEVICE) and at is None:
             raise ValueError(f"fault {kind!r} requires @t=<seconds>")
+        factor = _float("x", 10.0)
+        duration = _float("dur", 1.0)
+        assert factor is not None and duration is not None
         return FaultSpec(kind=kind, device=device, p=p,
-                         factor=_float("x", 10.0), at=at,
-                         duration=_float("dur", 1.0))
+                         factor=factor, at=at, duration=duration)
 
     # ------------------------------------------------------------------
     # Installation
     # ------------------------------------------------------------------
 
-    def install(self, system) -> Dict[str, FaultInjector]:
+    def install(self, system: "System") -> Dict[str, FaultInjector]:
         """Attach injectors to ``system``'s devices and arm the timers."""
         env = system.env
         devices = {"disk": system.data_device, "ssd": system.ssd_device,
@@ -154,13 +161,15 @@ class FaultPlan:
                     inj.latency_p = max(inj.latency_p, spec.p)
                     inj.latency_factor = spec.factor
             elif spec.kind == "ssd_die":
+                assert spec.at is not None  # enforced by _parse_clause
                 env.process(self._die_at(system, injector("ssd"), spec.at))
             else:  # *_stall
                 env.process(self._stall_at(injector(spec.device), spec))
         return self.injectors
 
     @staticmethod
-    def _die_at(system, injector: FaultInjector, at: float):
+    def _die_at(system: "System", injector: FaultInjector,
+                at: float) -> Generator[object, object, None]:
         env = injector.env
         if at > env.now:
             yield env.timeout(at - env.now)
@@ -170,8 +179,11 @@ class FaultPlan:
         env.process(system.ssd_manager.detach())
 
     @staticmethod
-    def _stall_at(injector: FaultInjector, spec: FaultSpec):
+    def _stall_at(injector: FaultInjector,
+                  spec: FaultSpec) -> Generator[object, object, None]:
         env = injector.env
-        if spec.at > env.now:
-            yield env.timeout(spec.at - env.now)
+        at = spec.at
+        assert at is not None  # enforced by _parse_clause
+        if at > env.now:
+            yield env.timeout(at - env.now)
         injector.stall(spec.duration)

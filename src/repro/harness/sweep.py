@@ -36,13 +36,13 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (Any, Callable, Dict, List, Optional, Set, TextIO,
+                    Tuple)
 
 from repro.core.ssd_manager import SsdStats
 from repro.engine.buffer_pool import BufferPoolStats
 from repro.harness.experiments import (
     SCALE_PROFILES,
-    ScaleProfile,
     run_oltp_experiment,
     run_tpch_experiment,
 )
@@ -222,7 +222,7 @@ def _snapshot_oltp(result: RunResult) -> Dict[str, Any]:
 class _Attrs:
     """A dot-access bag of plain values (restored stand-in objects)."""
 
-    def __init__(self, **values: Any):
+    def __init__(self, **values: Any) -> None:
         self.__dict__.update(values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -420,7 +420,7 @@ def run_sweep(specs: List[RunSpec], workers: int = 1,
     directory = (directory or cache_dir()) if use_cache else None
 
     unique: List[RunSpec] = []
-    seen = set()
+    seen: Set[RunSpec] = set()
     for spec in specs:
         if spec not in seen:
             seen.add(spec)
@@ -476,7 +476,7 @@ def run_sweep(specs: List[RunSpec], workers: int = 1,
 
 def summarize(report: SweepReport) -> List[Dict[str, Any]]:
     """One plain-dict row per run: the sweep's merged metric table."""
-    rows = []
+    rows: List[Dict[str, Any]] = []
     for spec, result in sorted(report.results.items(),
                                key=lambda item: (item[0].benchmark,
                                                  item[0].scale,
@@ -493,7 +493,8 @@ def summarize(report: SweepReport) -> List[Dict[str, Any]]:
     return rows
 
 
-def progress_printer(stream=None) -> Callable[[str], None]:
+def progress_printer(stream: Optional[TextIO] = None
+                     ) -> Callable[[str], None]:
     """A progress callback that writes one line per completed run."""
     stream = stream or sys.stderr
 

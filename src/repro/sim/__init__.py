@@ -17,8 +17,8 @@ Public API::
     assert env.now == 5 and proc.value == "done"
 """
 
-from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
 

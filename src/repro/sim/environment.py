@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import gc
 from heapq import heappop, heappush
-from typing import Any, Generator, Iterable, Optional, Union
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
@@ -31,9 +31,11 @@ class Environment:
     :meth:`run`.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_crash")
+
+    def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list = []  # (time, seq, event)
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0  # same-instant tie-break, incremented per schedule
         self._active_process: Optional[Process] = None
         self._crash: Optional[BaseException] = None
@@ -60,7 +62,7 @@ class Environment:
         """Create an event that triggers ``delay`` virtual seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: Generator[Any, Any, Any]) -> Process:
         """Start a new process running ``generator``."""
         return Process(self, generator)
 

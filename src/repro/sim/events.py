@@ -15,10 +15,14 @@ going through a scheduling call.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Callable, Iterable, List, Optional
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
+                    Optional)
+
+if TYPE_CHECKING:
+    from repro.sim.environment import Environment
 
 #: Sentinel for "event has not been given a value yet".
-_PENDING = object()
+_PENDING: Any = object()
 
 
 class SimulationError(Exception):
@@ -31,7 +35,7 @@ class Interrupt(Exception):
     The interrupt ``cause`` is available as ``exc.cause``.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -45,7 +49,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok")
 
-    def __init__(self, env: "Environment"):  # noqa: F821 (forward ref)
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
@@ -112,13 +116,14 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+    def __init__(self, env: "Environment", delay: float,
+                 value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         # Inlined Event.__init__ + schedule: a Timeout is born triggered,
         # so the generic pending-state checks are dead weight here.
         self.env = env
-        self.callbacks = []
+        self.callbacks = []  # type: Optional[List[Callable[[Event], None]]]
         self._ok = True
         self._value = value
         self.delay = delay
@@ -135,7 +140,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_done")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events = list(events)
         self._done = 0
@@ -161,7 +166,7 @@ class _Condition(Event):
     def _satisfied(self) -> bool:
         raise NotImplementedError
 
-    def _collect(self) -> dict:
+    def _collect(self) -> Dict[Event, Any]:
         return {
             event: event.value
             for event in self.events

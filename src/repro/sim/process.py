@@ -16,9 +16,12 @@ only slot attributes and locals.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.environment import Environment
 
 
 class Process(Event):
@@ -26,14 +29,16 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target")
 
-    def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
+    def __init__(self, env: "Environment",
+                 generator: Generator[Any, Any, Any]) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        self._target: Event | None = None
+        self._target: Optional[Event] = None
         # Bootstrap: resume the process at time `now`.
         bootstrap = Event(env)
+        assert bootstrap.callbacks is not None
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
 
@@ -57,6 +62,7 @@ class Process(Event):
                 pass
         self._target = None
         interrupt_event = Event(self.env)
+        assert interrupt_event.callbacks is not None
         interrupt_event.callbacks.append(self._resume)
         interrupt_event.fail(Interrupt(cause))
 

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Deque, List, Optional, Type
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:
+    from repro.sim.environment import Environment
 
 
 class Request(Event):
@@ -20,7 +24,7 @@ class Request(Event):
 
     __slots__ = ("resource",)
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
         resource._request(self)
@@ -28,7 +32,9 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc_val: Optional[BaseException],
+                 exc_tb: Optional[TracebackType]) -> None:
         self.resource.release(self)
 
 
@@ -41,7 +47,9 @@ class Resource:
     pending SSD I/Os.
     """
 
-    def __init__(self, env: "Environment", capacity: int = 1):  # noqa: F821
+    __slots__ = ("env", "capacity", "_users", "_waiting")
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
@@ -115,7 +123,9 @@ class Store:
     handing eviction work to the lazy-cleaning thread).
     """
 
-    def __init__(self, env: "Environment"):  # noqa: F821
+    __slots__ = ("env", "items", "_getters")
+
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.items: Deque[Any] = deque()
         self._getters: Deque[StoreGet] = deque()

@@ -1,0 +1,70 @@
+"""The ``repro lint`` command (also ``python -m repro.statics``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.statics.engine import (
+    all_rules,
+    check_paths,
+    format_findings_json,
+    format_findings_text,
+    load_config,
+)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by both entry points)."""
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format",
+                        help="output format (default: text)")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: pyproject / all)")
+    parser.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    registry = all_rules()
+    if args.list_rules:
+        for code in sorted(registry):
+            cls = registry[code]
+            print(f"{code} [{cls.name}] {cls.description}")
+        return 0
+    config = load_config()
+    if args.select:
+        config.select = tuple(
+            c.strip().upper() for c in args.select.split(",") if c.strip())
+    if args.ignore:
+        config.ignore = tuple(
+            c.strip().upper() for c in args.ignore.split(",") if c.strip())
+    unknown = [c for c in (config.select or ()) + config.ignore
+               if c not in registry]
+    if unknown:
+        print(f"lint: unknown rule codes: {', '.join(sorted(set(unknown)))} "
+              f"(try --list-rules)", file=sys.stderr)
+        return 2
+    result = check_paths(args.paths, config)
+    if args.output_format == "json":
+        print(format_findings_json(result))
+    else:
+        print(format_findings_text(result))
+    return result.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for ``python -m repro.statics``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statics",
+        description="AST-based invariant checker for the repro sources")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -22,7 +22,6 @@ disk (cases 4 and 6 are LC-only).
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

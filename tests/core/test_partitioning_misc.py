@@ -1,7 +1,5 @@
 """Smaller §3.3 machinery: SSD partitioning, throttle stats, log sizing."""
 
-import pytest
-
 from repro.core import SsdDesignConfig
 from repro.engine.wal import RECORDS_PER_LOG_PAGE, WriteAheadLog
 from tests.conftest import MiniSystem, drive

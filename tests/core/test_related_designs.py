@@ -1,8 +1,6 @@
 """Tests for the related-work designs (paper §5): rotating SSD and the
 exclusive approach."""
 
-import pytest
-
 from repro.engine.page import Frame
 from repro.engine.recovery import simulate_crash_and_recover
 from repro.harness.system import System, SystemConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from tests.conftest import MiniSystem, drive, settle
+from tests.conftest import MiniSystem, drive
 
 
 def cached(sys_, page_id, version=0, dirty=False):

@@ -5,7 +5,7 @@ import random
 from repro.harness.metrics import Sampler
 from repro.harness.system import System, SystemConfig
 from repro.core import SsdDesignConfig
-from tests.conftest import drive, settle
+from tests.conftest import settle
 
 
 def make_system(interval, design="DW"):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import Environment
 from repro.storage import HddArray
 from repro.engine.disk_manager import DiskManager
 from tests.conftest import drive

@@ -1,7 +1,5 @@
 """Tests for the buffer pool's background lazy writer."""
 
-import pytest
-
 from tests.conftest import MiniSystem, drive, settle
 
 

@@ -1,7 +1,5 @@
 """The crash-point sweep harness and its CLI surface."""
 
-import pytest
-
 from repro.cli import main
 from repro.harness import (
     CrashPointOutcome,

@@ -6,7 +6,6 @@ from repro.core.lc import LazyCleaningManager
 from repro.harness.experiments import (
     PAPER_LAMBDA,
     SCALE_PROFILES,
-    ScaleProfile,
     make_system,
     make_workload,
     run_oltp_experiment,
@@ -15,7 +14,7 @@ from repro.harness.experiments import (
 from repro.harness.metrics import Sampler
 from repro.harness.report import format_series, format_speedups, format_table
 from repro.harness.runner import RunResult, WorkloadRunner
-from repro.harness.system import System, SystemConfig
+from repro.harness.system import SystemConfig
 
 
 class TestSystemAssembly:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment
-from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.events import SimulationError
 
 
 class TestEvent:

@@ -1,0 +1,63 @@
+"""Output formats: the text report and the versioned JSON schema."""
+
+import json
+import textwrap
+
+from repro.statics import check_source, format_findings_json, format_findings_text
+from repro.statics.engine import JSON_SCHEMA_VERSION
+
+DIRTY = textwrap.dedent("""
+    def f(tracer):
+        tracer.record("x")
+    """)
+PATH = "src/repro/engine/x.py"
+
+
+class TestTextFormat:
+    def test_one_line_per_finding_plus_summary(self):
+        result = check_source(DIRTY, path=PATH)
+        text = format_findings_text(result)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(f"{PATH}:3:")
+        assert "RPL001" in lines[0]
+        assert lines[1] == "1 finding in 1 files (0 suppressed)"
+
+    def test_clean_summary(self):
+        result = check_source("x = 1\n", path=PATH)
+        assert format_findings_text(result) == (
+            "0 findings in 1 files (0 suppressed)")
+
+
+class TestJsonFormat:
+    def test_schema(self):
+        result = check_source(DIRTY, path=PATH)
+        doc = json.loads(format_findings_json(result))
+        assert set(doc) == {"version", "findings", "errors", "summary"}
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert doc["errors"] == []
+        assert set(doc["summary"]) == {"files", "findings", "suppressed",
+                                       "by_code"}
+        assert doc["summary"]["files"] == 1
+        assert doc["summary"]["findings"] == 1
+        assert doc["summary"]["by_code"] == {"RPL001": 1}
+        (finding,) = doc["findings"]
+        assert set(finding) == {"code", "name", "message", "path", "line",
+                                "col"}
+        assert finding["code"] == "RPL001"
+        assert finding["path"] == PATH
+        assert isinstance(finding["line"], int)
+        assert isinstance(finding["col"], int)
+
+    def test_round_trips_through_json(self):
+        result = check_source(DIRTY, path=PATH)
+        doc = json.loads(format_findings_json(result))
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_parse_error_reported(self):
+        result = check_source("def f(:\n", path=PATH)
+        assert result.exit_code == 2
+        doc = json.loads(format_findings_json(result))
+        assert doc["findings"] == []
+        assert len(doc["errors"]) == 1
+        assert "syntax error" in doc["errors"][0]

@@ -1,0 +1,350 @@
+"""Per-rule fixture snippets: each rule has a positive (flagged),
+negative (clean), and suppressed (noqa) case.
+
+The snippets are linted in memory with :func:`check_source` under a
+path inside the rule's scope, so the path-gating logic is exercised
+too.  The snippets intentionally violate the invariants — they are the
+test fixtures, not repo code (tests/statics is excluded in the ruff
+per-file-ignores for the same reason).
+"""
+
+import textwrap
+
+from repro.statics import check_source
+
+
+def lint(source, path):
+    return check_source(textwrap.dedent(source), path=path)
+
+
+def codes(result):
+    return [f.code for f in result.findings]
+
+
+class TestTracerGuard:
+    PATH = "src/repro/engine/buffer_pool.py"
+
+    def test_unguarded_call_flagged(self):
+        result = lint("""
+            def f(tracer, page):
+                tracer.record("pin", page)
+            """, self.PATH)
+        assert codes(result) == ["RPL001"]
+
+    def test_guarded_call_clean(self):
+        result = lint("""
+            def f(tracer, page):
+                if tracer.enabled:
+                    tracer.record("pin", page)
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_early_exit_guard_clean(self):
+        result = lint("""
+            def f(tracer, page):
+                if not tracer.enabled:
+                    return
+                tracer.record("pin", page)
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_out_of_scope_path_clean(self):
+        result = lint("""
+            def f(tracer, page):
+                tracer.record("pin", page)
+            """, "src/repro/statics/engine.py")
+        assert codes(result) == []
+
+    def test_suppressed(self):
+        result = lint("""
+            def f(tracer, page):
+                tracer.record("pin", page)  # repro: noqa[RPL001]
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+
+class TestSlotsHotpath:
+    PATH = "src/repro/sim/things.py"
+
+    def test_unslotted_class_flagged(self):
+        result = lint("""
+            class Widget:
+                def __init__(self):
+                    self.x = 1
+            """, self.PATH)
+        assert codes(result) == ["RPL002"]
+
+    def test_slotted_class_clean(self):
+        result = lint("""
+            class Widget:
+                __slots__ = ("x",)
+                def __init__(self):
+                    self.x = 1
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_exception_class_exempt(self):
+        result = lint("""
+            class WidgetError(Exception):
+                pass
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_unslotted_subclass_of_hotpath_base_flagged(self):
+        # The subclass lives outside the hot-path roots but inherits
+        # from a class inside them: an un-slotted subclass regains
+        # __dict__, silently undoing the base's optimisation.
+        hot = lint("""
+            class Base:
+                __slots__ = ()
+            """, "src/repro/sim/base.py")
+        assert codes(hot) == []
+        # Cross-module closure needs both modules in one run.
+        from repro.statics.engine import LintConfig, LintResult, ModuleInfo
+        from repro.statics.engine import _run_rules
+        modules = [
+            ModuleInfo("src/repro/sim/base.py",
+                       "class Base:\n    __slots__ = ()\n"),
+            ModuleInfo("src/repro/core/sub.py",
+                       "from repro.sim.base import Base\n"
+                       "class Sub(Base):\n    pass\n"),
+        ]
+        result = LintResult()
+        _run_rules(modules, LintConfig(select=("RPL002",)), result)
+        assert [f.code for f in result.findings] == ["RPL002"]
+        assert result.findings[0].path == "src/repro/core/sub.py"
+
+    def test_suppressed(self):
+        result = lint("""
+            class Widget:  # repro: noqa[RPL002]
+                def __init__(self):
+                    self.x = 1
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+
+class TestDeterminism:
+    PATH = "src/repro/sim/clocky.py"
+
+    def test_wall_clock_flagged(self):
+        result = lint("""
+            import time
+            def f():
+                return time.time()
+            """, self.PATH)
+        assert codes(result) == ["RPL003"]
+
+    def test_global_random_flagged(self):
+        result = lint("""
+            import random
+            def f():
+                return random.random()
+            """, self.PATH)
+        assert codes(result) == ["RPL003"]
+
+    def test_seeded_rng_clean(self):
+        result = lint("""
+            import random
+            def f(seed):
+                return random.Random(seed).random()
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_set_iteration_feeding_scheduler_flagged(self):
+        result = lint("""
+            def f(env, waiters):
+                for w in set(waiters):
+                    env.schedule(w)
+            """, self.PATH)
+        assert codes(result) == ["RPL003"]
+
+    def test_list_iteration_clean(self):
+        result = lint("""
+            def f(env, waiters):
+                for w in list(waiters):
+                    env.schedule(w)
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_out_of_scope_harness_clean(self):
+        result = lint("""
+            import time
+            def f():
+                return time.monotonic()
+            """, "src/repro/harness/sweep.py")
+        assert codes(result) == []
+
+    def test_suppressed(self):
+        result = lint("""
+            import time
+            def f():
+                return time.time()  # repro: noqa[RPL003]
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+
+class TestFaultSafety:
+    PATH = "src/repro/core/mymanager.py"
+
+    def test_naked_device_await_flagged(self):
+        result = lint("""
+            def f(self):
+                yield self.device.read(0, 1)
+            """, self.PATH)
+        assert codes(result) == ["RPL004"]
+
+    def test_submit_flagged(self):
+        result = lint("""
+            def f(self):
+                yield self.wal.device.submit(req)
+            """, self.PATH)
+        assert codes(result) == ["RPL004"]
+
+    def test_try_reaching_fault_error_clean(self):
+        result = lint("""
+            from repro.faults import IoFault
+            def f(self):
+                try:
+                    yield self.device.read(0, 1)
+                except IoFault:
+                    pass
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_retry_helper_clean(self):
+        result = lint("""
+            def _ssd_io(self, submit):
+                yield self.device.read(0, 1)
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_lambda_thunk_clean(self):
+        # The canonical call shape: the raw submit is wrapped in a
+        # thunk handed to the retry helper.
+        result = lint("""
+            def f(self):
+                ok = yield from self._ssd_io(
+                    lambda: self.device.write(0, 1))
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_suppressed(self):
+        result = lint("""
+            def f(self):
+                yield self.device.read(0, 1)  # repro: noqa[RPL004]
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+
+class TestNoSwallow:
+    PATH = "src/repro/anywhere.py"
+
+    def test_bare_except_flagged(self):
+        result = lint("""
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """, self.PATH)
+        assert codes(result) == ["RPL005"]
+
+    def test_swallowing_broad_except_flagged(self):
+        result = lint("""
+            def f():
+                try:
+                    g()
+                except Exception:
+                    pass
+            """, self.PATH)
+        assert codes(result) == ["RPL005"]
+
+    def test_broad_except_with_handling_clean(self):
+        result = lint("""
+            def f(log):
+                try:
+                    g()
+                except Exception as exc:
+                    log.warning("g failed: %s", exc)
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_narrow_except_pass_clean(self):
+        result = lint("""
+            def f(users, req):
+                try:
+                    users.remove(req)
+                except ValueError:
+                    pass
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_suppressed(self):
+        result = lint("""
+            def f():
+                try:
+                    g()
+                except Exception:  # repro: noqa[RPL005]
+                    pass
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+
+class TestTelemetryLabels:
+    PATH = "src/repro/telemetry/thing.py"
+
+    def test_dynamic_metric_name_flagged(self):
+        result = lint("""
+            def f(registry, name):
+                return registry.counter("prefix_" + name, "help")
+            """, self.PATH)
+        assert codes(result) == ["RPL006"]
+
+    def test_literal_metric_name_clean(self):
+        result = lint("""
+            def f(registry):
+                return registry.counter("faults_total", "help",
+                                        labelnames=("device", "kind"))
+            """, self.PATH)
+        assert codes(result) == []
+
+    def test_dynamic_labelnames_flagged(self):
+        result = lint("""
+            def f(registry, names):
+                return registry.counter("faults_total", "help",
+                                        labelnames=names)
+            """, self.PATH)
+        assert codes(result) == ["RPL006"]
+
+    def test_suppressed(self):
+        result = lint("""
+            def f(registry, name):
+                return registry.counter("p_" + name, "h")  # repro: noqa[RPL006]
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+
+class TestSuppressionForms:
+    PATH = "src/repro/engine/x.py"
+
+    def test_blanket_noqa_suppresses_any_code(self):
+        result = lint("""
+            def f(tracer):
+                tracer.record("x")  # repro: noqa
+            """, self.PATH)
+        assert codes(result) == []
+        assert result.suppressed == 1
+
+    def test_mismatched_code_does_not_suppress(self):
+        result = lint("""
+            def f(tracer):
+                tracer.record("x")  # repro: noqa[RPL005]
+            """, self.PATH)
+        assert codes(result) == ["RPL001"]
+        assert result.suppressed == 0
