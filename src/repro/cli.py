@@ -38,6 +38,8 @@ DESIGN_SUMMARIES = {
     "CW": "clean-write: dirty evictions never cached (§2.3.1)",
     "DW": "dual-write: write-through dirty evictions (§2.3.2)",
     "LC": "lazy-cleaning: write-back with a cleaner thread (§2.3.3)",
+    "LS": "log-structured: append-only SSD log, group-commit admission, "
+          "GC-aware reclaim (DESIGN.md §10)",
     "TAC": "temperature-aware caching (Canim et al., the paper's baseline)",
     "ROT": "rotating circular SSD queue (Holloway, related work §5)",
     "EXCL": "exclusive two-level cache (Koltsidas & Viglas, related work §5)",
@@ -154,9 +156,16 @@ def cmd_oltp(args) -> int:
             profile=profile, nworkers=args.workers,
             dirty_threshold=args.dirty_threshold,
             checkpoint_interval=args.checkpoint_interval,
-            telemetry=telemetry, faults=faults)
+            ftl=args.ftl, telemetry=telemetry, faults=faults)
         print(f"ran {design}", file=sys.stderr)
         system = results[design].system
+        ftl = getattr(system.ssd_device, "ftl", None)
+        if ftl is not None:
+            stats = ftl.stats
+            print(f"ftl[{design}]: host_writes={stats.host_writes} "
+                  f"nand_writes={stats.nand_writes} erases={stats.erases} "
+                  f"waf={ftl.waf:.3f} wear_spread={ftl.wear_spread}",
+                  file=sys.stderr)
         if faults:
             injected = {
                 role: dict(inj.stats)
@@ -260,7 +269,7 @@ def cmd_sweep(args) -> int:
                 duration=args.duration, nworkers=args.workers_per_run,
                 dirty_threshold=args.dirty_threshold,
                 checkpoint_interval=args.checkpoint_interval,
-                seed=args.seed)
+                ftl=args.ftl, seed=args.seed)
         for scale in scales for design in designs
     ]
     directory = Path(args.cache_dir) if args.cache_dir else None
@@ -268,14 +277,18 @@ def cmd_sweep(args) -> int:
                        use_cache=not args.no_cache,
                        progress=progress_printer())
     rows = summarize(report)
+    has_waf = any("waf" in row for row in rows)
     table = [[row["spec"]["benchmark"], str(row["spec"]["scale"]),
               row["spec"]["design"], row["metric"], f"{row['value']:,.1f}"]
+             + ([f"{row['waf']:.3f}" if "waf" in row else "-"]
+                if has_waf else [])
              for row in rows]
     print(format_table(
         f"sweep — {len(rows)} runs, {report.cached} cached, "
         f"{report.computed} computed in {report.elapsed:.1f}s "
         f"(workers={args.workers})",
-        ["benchmark", "scale", "design", "metric", "value"], table))
+        ["benchmark", "scale", "design", "metric", "value"]
+        + (["waf"] if has_waf else []), table))
     if args.output:
         with open(args.output, "w") as fh:
             json.dump({"runs": rows}, fh, indent=2, sort_keys=True)
@@ -315,6 +328,7 @@ def cmd_analyze(args) -> int:
         bench_snapshot,
         format_attribution_table,
         format_faults_table,
+        format_ftl_table,
         format_interference_table,
         validate_bench,
     )
@@ -357,6 +371,9 @@ def cmd_analyze(args) -> int:
     if any(a.faults for a in analyses):
         print()
         print(format_faults_table(analyses))
+    if any(a.ftl for a in analyses):
+        print()
+        print(format_ftl_table(analyses))
 
     if args.html:
         from repro.telemetry.htmlreport import write_report
@@ -416,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault plan, e.g. "
                              "'ssd_die@t=30,transient:p=0.001' "
                              "(see repro.faults.plan for the grammar)")
+    p_oltp.add_argument("--ftl", action="store_true",
+                        help="model the SSD's internals (erase blocks, GC, "
+                             "write amplification; DESIGN.md §10)")
     _add_common(p_oltp)
     p_oltp.set_defaults(func=cmd_oltp)
 
@@ -423,7 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="crash-point sweep: crash, recover, verify")
     p_chaos.add_argument("--points", type=int, default=5,
                          help="crash points per design x policy (default 5)")
-    p_chaos.add_argument("--designs", default="CW,DW,LC,TAC")
+    p_chaos.add_argument("--designs", default="CW,DW,LC,TAC,LS")
     p_chaos.add_argument("--policies", default="sharp,fuzzy",
                          help="comma-separated checkpoint policies")
     p_chaos.add_argument("--seed", type=int, default=20110612)
@@ -451,6 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="closed-loop clients inside each run")
     p_sweep.add_argument("--dirty-threshold", type=float, default=None)
     p_sweep.add_argument("--checkpoint-interval", type=float, default=None)
+    p_sweep.add_argument("--ftl", action="store_true",
+                         help="model the SSD's internals in every run "
+                              "(erase blocks, GC, write amplification)")
     p_sweep.add_argument("--seed", type=int, default=20110612)
     p_sweep.add_argument("--cache-dir", default=None,
                          help="run-cache directory (default .repro-cache, "

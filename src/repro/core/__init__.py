@@ -16,6 +16,11 @@ disk manager — in four flavours plus the baseline:
   logical invalidation.
 * :class:`~repro.core.ssd_manager.NoSsdManager` (**noSSD**) — the
   unmodified engine.
+* :class:`~repro.core.ls.LogStructuredManager` (**LS**) — this
+  reproduction's extension beyond the paper: the SSD laid out as an
+  append-only log with group-commit admission and GC-aware tail
+  reclamation, designed against the modelled flash internals of
+  :mod:`repro.storage.ftl` (DESIGN.md §10).
 
 All designs share the Figure 4 data structures
 (:mod:`~repro.core.ssd_buffer_table`), LRU-2 replacement over clean/dirty
@@ -32,6 +37,7 @@ from repro.core.ssd_manager import NoSsdManager, SsdManagerBase, TrimPlan
 from repro.core.cw import CleanWriteManager
 from repro.core.dw import DualWriteManager
 from repro.core.lc import LazyCleaningManager
+from repro.core.ls import LogStructuredManager
 from repro.core.tac import TemperatureAwareManager
 from repro.core.rotating import RotatingSsdManager
 from repro.core.exclusive import ExclusiveSsdManager
@@ -46,6 +52,7 @@ DESIGNS = {
     "CW": CleanWriteManager,
     "DW": DualWriteManager,
     "LC": LazyCleaningManager,
+    "LS": LogStructuredManager,
     "TAC": TemperatureAwareManager,
     "ROT": RotatingSsdManager,
     "EXCL": ExclusiveSsdManager,
@@ -59,6 +66,7 @@ __all__ = [
     "ExclusiveSsdManager",
     "LazyCleaningManager",
     "LazyMinHeap",
+    "LogStructuredManager",
     "NoSsdManager",
     "RotatingSsdManager",
     "SsdBufferTable",

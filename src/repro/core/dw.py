@@ -29,7 +29,7 @@ class DualWriteManager(SsdManagerBase):
         disk_write = self.env.process(
             self.disk.write(frame.page_id, frame.version, sequential=False,
                             ctx=EVICTION_CTX))
-        if self.admission.qualifies(frame, self.used_frames):
+        if self.admission.qualifies(frame, self.admission_fill_level):
             ssd_write = self.env.process(
                 self._cache_page(frame.page_id, frame.version, dirty=False,
                                  ctx=EVICTION_CTX))

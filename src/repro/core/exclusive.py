@@ -57,7 +57,7 @@ class ExclusiveSsdManager(SsdManagerBase):
         return version
 
     def on_evict_clean(self, frame: Frame):
-        if not self.admission.qualifies(frame, self.used_frames):
+        if not self.admission.qualifies(frame, self.admission_fill_level):
             if frame.version > self.disk.disk_version(frame.page_id):
                 yield from self.disk.write(frame.page_id, frame.version,
                                            sequential=False,
@@ -71,7 +71,7 @@ class ExclusiveSsdManager(SsdManagerBase):
                                        sequential=False, ctx=EVICTION_CTX)
 
     def on_evict_dirty(self, frame: Frame):
-        if self.admission.qualifies(frame, self.used_frames):
+        if self.admission.qualifies(frame, self.admission_fill_level):
             cached = yield from self._cache_page(frame.page_id,
                                                  frame.version, dirty=True,
                                                  ctx=EVICTION_CTX)

@@ -85,7 +85,7 @@ class LazyCleaningManager(SsdManagerBase):
         """
         checkpointing = self.bp is not None and self.bp.checkpoint_active
         if not checkpointing and self.admission.qualifies(
-                frame, self.used_frames):
+                frame, self.admission_fill_level):
             cached = yield from self._cache_page(frame.page_id, frame.version,
                                                  dirty=True,
                                                  rec_lsn=max(0, frame.rec_lsn),

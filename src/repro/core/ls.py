@@ -1,0 +1,917 @@
+"""The log-structured (LS) design family (ROADMAP item 2, DESIGN.md §10).
+
+The paper's CW/DW/LC/TAC designs update the SSD cache with random
+in-place page writes.  On modelled flash internals (``repro.storage.ftl``)
+that traffic leaves GC victims full of valid pages and amplifies every
+host write into several NAND writes.  LS instead lays the SSD buffer
+pool out as a pool of append-only *segments* (LFS style):
+
+* **Group-commit admission** — evicted pages stage into a batch; the
+  batch flushes as a single *sequential* multi-page device write when it
+  fills, when its timeout expires, or when the buffer pool's eviction
+  pressure drains (:meth:`admission_flush_hint`).  Fresh admissions
+  append to the *hot* open segment; when it fills, the next free
+  segment opens.
+* **Supersede-in-place mapping** — re-admitting a page appends a new log
+  entry and marks the old record logically invalid; the in-DRAM hash
+  always points at the newest entry, so the mapping tolerates the log's
+  constant relocation.
+* **Greedy segment cleaning with hot/cold separation** — space is
+  reclaimed a whole segment at a time, and the victim is the *deadest*
+  closed segment (fewest live entries), not the oldest.  Superseded and
+  invalidated entries are dead and dropped; live entries relocate to a
+  separate *cold* append stream (sequential read + sequential write, so
+  the traffic stays log shaped), capped so every reclaim nets real
+  space — a mostly-live victim evicts its least-recently-accessed
+  entries instead.  Keeping relocated (proven-live) entries out of the
+  hot stream lets hot segments turn fully dead, so most cleanings
+  relocate nothing.  Entries holding the sole newest copy of a page are
+  flushed to disk before being dropped.  The reclaimed segment is
+  TRIMmed before reuse, which is exactly what keeps the FTL's own GC
+  victims empty and the measured WAF at 1.0 ("How to Write to SSDs",
+  PVLDB 2026).
+* **Log replay on restart** — every log record carries its append
+  epoch, so the on-flash layout is self-describing; the mapping is
+  rebuilt by replaying records in epoch order, and entries whose
+  version matches the redone disk become warm clean hits (the recovery
+  benefit "Flash-Based Extended Cache", PVLDB 2012, measures).
+
+Dirty handling follows LC's write-back contract: the SSD may hold the
+only newest copy of a page, checkpoints drain every dirty entry, and SSD
+death degrades through the shared WAL-redo detach path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.ssd_manager import SsdManagerBase
+from repro.core.ssd_buffer_table import SsdRecord
+from repro.engine.page import Frame
+from repro.faults.errors import IoFault
+from repro.sim import Event
+from repro.telemetry import CHECKPOINT_CTX, CLEANER_CTX, EVICTION_CTX
+
+#: One staged admission: (page_id, version, dirty, rec_lsn).
+_Entry = Tuple[int, int, bool, int]
+
+#: One durable log record: an admission plus its append epoch — the
+#: global write order a real log record header carries, and what makes
+#: crash replay order-correct across multiple append streams.
+_JournalEntry = Tuple[int, int, bool, int, int]
+
+
+class _LogBatch:
+    """One group-commit admission batch."""
+
+    __slots__ = ("entries", "trigger", "done", "ok", "closed")
+
+    def __init__(self, env: Any) -> None:
+        self.entries: List[_Entry] = []
+        #: Succeeds when the batch should flush early (full / hint).
+        self.trigger: Event = env.event()
+        #: Succeeds when the flush finished (``ok`` says how it went).
+        self.done: Event = env.event()
+        self.ok = False
+        self.closed = False
+
+
+class LogStructuredManager(SsdManagerBase):
+    """LS: the SSD buffer pool as a pool of append-only segments."""
+
+    name = "LS"
+
+    #: Consecutive no-progress reclaim/drain rounds before failing loudly.
+    _STALL_LIMIT = 64
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        nframes = self.config.ssd_frames
+        #: Frames per segment (the last segment may be shorter).
+        self._seg_pages = max(1, min(self.config.ls_segment_pages,
+                                     nframes or 1))
+        self._nseg = (nframes + self._seg_pages - 1) // self._seg_pages
+        #: Hot append stream (fresh admissions): [segment, position].
+        #: Hot entries die fast, so hot segments turn fully dead and
+        #: clean for free.
+        self._open: List[Any] = [None, 0]
+        #: Cold append stream (cleaner relocations): proven-live entries
+        #: stay packed together instead of polluting hot segments.
+        self._cold: List[Any] = [None, 0]
+        #: Free segments, reused FIFO (each was TRIMmed when freed).
+        self._free_segs: List[int] = list(range(self._nseg))
+        #: Allocation epoch per allocated segment (victim age proxy).
+        self._seg_seq: Dict[int, int] = {}
+        self._next_seq = 0
+        #: Global append epoch: total order over journal entries.
+        self._next_epoch = 0
+        self._free_slots = nframes
+        #: Durable per-frame log metadata (what a restart can replay).
+        self._journal: Dict[int, _JournalEntry] = {}
+        self._batch: Optional[_LogBatch] = None
+        #: Batches staged or flushing (for checkpoint/LSN accounting).
+        self._pending_batches: Set[_LogBatch] = set()
+        #: Single-flight latch for segment cleaning.
+        self._reclaim_busy: Optional[Event] = None
+        self._cleaner_started = False
+        self._cleaner_wakeup: Optional[Event] = None
+        self._dirty_wakeup: Optional[Event] = None
+        registry = self.telemetry.registry
+        self._tm_batches = registry.counter(
+            "ls_batches_total", "Group-commit admission batches flushed")
+        self._tm_batch_pages = registry.counter(
+            "ls_batch_pages_total", "Pages admitted through LS batches")
+        self._tm_reclaims = registry.counter(
+            "ls_reclaimed_segments_total",
+            "Log segments reclaimed (greedy victim selection)")
+        self._tm_reclaim_flushes = registry.counter(
+            "ls_reclaim_dirty_flushes_total",
+            "Newest-copy pages flushed to disk during segment cleaning")
+        self._tm_relocations = registry.counter(
+            "ls_relocated_entries_total",
+            "Live entries re-appended to the log during segment cleaning")
+        self._tm_replays = registry.counter(
+            "ls_replayed_entries_total",
+            "Log entries replayed into the mapping after a crash")
+
+    @property
+    def admission_fill_level(self) -> int:
+        """Live entries only: dead log entries are reclaimable space."""
+        return self.table.valid_count
+
+    # ------------------------------------------------------------------
+    # Segment geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def _head(self) -> int:
+        """Next hot append position (diagnostics); -1 between segments."""
+        if self._open[0] is None:
+            return -1
+        return self._seg_start(self._open[0]) + self._open[1]
+
+    def _seg_start(self, seg: int) -> int:
+        return seg * self._seg_pages
+
+    def _seg_size(self, seg: int) -> int:
+        return min(self._seg_pages,
+                   self.config.ssd_frames - self._seg_start(seg))
+
+    def _claim_frame(self, cold: bool = False) -> int:
+        """Claim the next append slot (caller ensured free space).
+
+        ``cold`` selects the relocation stream; fresh admissions use the
+        hot stream.  Each stream opens the next free segment when its
+        current one fills; a full segment closes immediately and becomes
+        a cleaning candidate.  When the free pool is empty, the streams
+        share whichever open segment still has room (degenerate tiny
+        logs).
+        """
+        stream = self._cold if cold else self._open
+        if stream[0] is None and not self._free_segs:
+            stream = self._open if cold else self._cold
+        if stream[0] is None:
+            stream[0] = self._free_segs.pop(0)
+            stream[1] = 0
+            self._seg_seq[stream[0]] = self._next_seq
+            self._next_seq += 1
+        frame_no = self._seg_start(stream[0]) + stream[1]
+        stream[1] += 1
+        self._free_slots -= 1
+        if stream[1] >= self._seg_size(stream[0]):
+            stream[0] = None
+        return frame_no
+
+    # ------------------------------------------------------------------
+    # Admission (group commit into the open segment)
+    # ------------------------------------------------------------------
+
+    def _cache_page(self, page_id: int, version: int, dirty: bool,
+                    rec_lsn: int = 0,
+                    ctx: Any = None) -> Generator[object, Any, bool]:
+        """Process step: admit one page by appending a log entry.
+
+        Same contract as the base implementation (which writes in
+        place), but the write is staged into the current group-commit
+        batch and the caller waits for the batch flush.
+        """
+        existing = self.table.lookup_valid(page_id)
+        if existing is not None and (existing.version == version
+                                     and existing.dirty == dirty):
+            existing.record_access(self.env.now)
+            self._reheap(existing)
+            return True
+        if self.detached:
+            return False
+        if self._throttled():
+            self.stats.declined_throttle += 1
+            self._tm_declined.inc()
+            if existing is not None:
+                self.stats.throttle_preserved += 1
+                self._tm_throttle_preserved.inc()
+            return False
+        return (yield from self._append(page_id, version, dirty,
+                                        rec_lsn))
+
+    def _append(self, page_id: int, version: int, dirty: bool,
+                rec_lsn: int) -> Generator[object, Any, bool]:
+        """Process step: stage an entry and wait for its batch flush."""
+        if self.config.ssd_frames == 0:
+            return False
+        batch = self._batch
+        if batch is None or batch.closed:
+            batch = _LogBatch(self.env)
+            self._batch = batch
+            self._pending_batches.add(batch)
+            self.env.process(self._flush_batch(batch))
+        batch.entries.append((page_id, version, dirty, rec_lsn))
+        if len(batch.entries) >= min(self.config.ls_batch_pages,
+                                     self.config.ssd_frames):
+            self._close_batch(batch)
+        yield batch.done
+        return batch.ok
+
+    def _close_batch(self, batch: _LogBatch) -> None:
+        """Stop accepting entries and release the flush to proceed."""
+        batch.closed = True
+        if self._batch is batch:
+            self._batch = None
+        if not batch.trigger.triggered:
+            batch.trigger.succeed()
+
+    def admission_flush_hint(self) -> None:
+        """Eviction pressure drained: flush the partial batch now."""
+        batch = self._batch
+        if batch is not None and batch.entries:
+            self._close_batch(batch)
+
+    def _flush_batch(self, batch: _LogBatch) -> Generator[object, Any, None]:
+        """Process step: group-commit one batch into the open segment."""
+        try:
+            if not batch.trigger.triggered:
+                yield self.env.any_of([
+                    batch.trigger,
+                    self.env.timeout(self.config.ls_batch_timeout)])
+            self._close_batch(batch)
+            if self._detach_started or not batch.entries:
+                return
+            npages = len(batch.entries)
+            yield from self._ensure_log_space(npages)
+            if self._detach_started or self._free_slots < npages:
+                return
+            frames = self._install_entries(batch)
+            ok = yield from self._write_frame_runs(frames)
+            if ok:
+                batch.ok = True
+                self._tm_batches.inc()
+                self._tm_batch_pages.inc(npages)
+                if any(entry[2] for entry in batch.entries):
+                    self._after_dirty_cached()
+            else:
+                self._roll_back(frames)
+        finally:
+            # Waiters must never hang, whatever path got us here.
+            self._pending_batches.discard(batch)
+            if not batch.done.triggered:
+                batch.done.succeed()
+
+    def _install_entries(self, batch: _LogBatch) -> List[int]:
+        """Claim append slots and bind the batch's entries.
+
+        Runs without yielding: space was ensured synchronously before
+        the call, so the claimed frames are guaranteed free.
+        """
+        now = self.env.now
+        frames: List[int] = []
+        for page_id, version, dirty, rec_lsn in batch.entries:
+            frame_no = self._claim_frame()
+            old = self.table.lookup(page_id)
+            if old is not None and old.occupied:
+                # Supersede in place: the old entry dies where it lies
+                # and frees only when its segment gets cleaned.
+                self.clean_heap.remove(old)
+                self.dirty_heap.remove(old)
+                self.table.invalidate_logical(old)
+            record = self.table.take_frame(frame_no)
+            self.table.install(record, page_id, version, dirty, now,
+                               rec_lsn=rec_lsn)
+            self._reheap(record)
+            self._journal[frame_no] = (page_id, version, dirty, rec_lsn,
+                                       self._next_epoch)
+            self._next_epoch += 1
+            frames.append(frame_no)
+            self.stats.writes += 1
+            self._tm_writes.inc()
+            if self._tracer.enabled:
+                self._tracer.instant("admit", "ssd", "ssd_manager",
+                                     {"page": page_id, "dirty": dirty})
+        self._maybe_wake_cleaner()
+        return frames
+
+    def _roll_back(self, frames: List[int]) -> None:
+        """The device write failed: the frames hold nothing after all.
+
+        Log discipline still applies — the slots stay consumed (dead)
+        until their segment gets cleaned; only their contents are
+        disowned.  Waiters see ``ok=False`` and fall back to disk, so no
+        data is stranded.
+        """
+        for frame_no in frames:
+            record = self.table.records[frame_no]
+            if record.occupied and record.valid:
+                self.clean_heap.remove(record)
+                self.dirty_heap.remove(record)
+                self.table.invalidate_logical(record)
+            self._journal.pop(frame_no, None)
+
+    def _stripe(self, address: int, count: int) -> List[Tuple[int, int]]:
+        """Split one contiguous run across the device's channels.
+
+        A monolithic N-page request occupies a single flash channel for
+        N page-times; issuing the run as parallel sequential chunks
+        keeps the addressing log-shaped while using the parallelism the
+        paper's multi-channel card actually has (and that the in-place
+        designs get for free from independent 1-page writes).
+        """
+        channels = max(1, self.device.channels.capacity)
+        chunk = -(-count // channels)
+        return [(address + offset, min(chunk, count - offset))
+                for offset in range(0, count, chunk)]
+
+    def _write_frame_runs(self,
+                          frames: List[int]) -> Generator[object, Any, bool]:
+        """Process step: sequential device writes over claimed frames.
+
+        Claims are contiguous within a segment; a batch that crossed
+        into a fresh segment writes (at most) two runs.  Each run is
+        striped over the channels and issued concurrently.
+        """
+        runs: List[List[int]] = []
+        for frame_no in frames:
+            if runs and runs[-1][0] + runs[-1][1] == frame_no:
+                runs[-1][1] += 1
+            else:
+                runs.append([frame_no, 1])
+        pieces = [piece for address, count in runs
+                  for piece in self._stripe(address, count)]
+        pending = [self.env.process(self._ssd_io(
+            lambda address=address, count=count: self.device.write(
+                address, count, random=False, ctx=EVICTION_CTX)))
+            for address, count in pieces]
+        results = yield self.env.all_of(pending)
+        return all(results.values())
+
+    # ------------------------------------------------------------------
+    # Eviction hook (same fallback contract as LC)
+    # ------------------------------------------------------------------
+
+    def on_evict_dirty(self, frame: Frame) -> Generator[object, Any, None]:
+        """Append the dirty page to the log; fall back to disk if not.
+
+        Falls back when: admission rejects the page, a checkpoint is in
+        progress (§3.2: no new dirty pages while one runs), the SSD is
+        throttled or detached, or the batch flush failed.
+        """
+        checkpointing = self.bp is not None and self.bp.checkpoint_active
+        if not checkpointing and self.admission.qualifies(
+                frame, self.admission_fill_level):
+            cached = yield from self._cache_page(
+                frame.page_id, frame.version, dirty=True,
+                rec_lsn=max(0, frame.rec_lsn), ctx=EVICTION_CTX)
+            if cached:
+                return
+        self.stats.fallback_disk_writes += 1
+        self._tm_fallback.inc()
+        yield from self.disk.write(frame.page_id, frame.version,
+                                   sequential=False, ctx=EVICTION_CTX)
+
+    def invalidate(self, page_id: int) -> None:
+        """A buffered page was dirtied: the log entry dies in place."""
+        record = self.table.lookup(page_id)
+        if record is not None and record.occupied and record.valid:
+            self.stats.invalidations += 1
+            self._tm_invalidations.inc()
+            self.clean_heap.remove(record)
+            self.dirty_heap.remove(record)
+            self.table.invalidate_logical(record)
+
+    # ------------------------------------------------------------------
+    # Greedy segment cleaning (GC-aware eviction)
+    # ------------------------------------------------------------------
+
+    @property
+    def _reclaim_low_water(self) -> int:
+        """Free-slot count below which the background reclaimer runs."""
+        return min(max(2 * self.config.ls_segment_pages,
+                       2 * self.config.ls_batch_pages),
+                   max(1, self.config.ssd_frames // 8))
+
+    def start_cleaner(self) -> None:
+        """Launch the background reclaimer and dirty cleaner (idempotent).
+
+        Segment cleaning is expensive — a sequential segment read plus a
+        relocation write — so doing it on demand inside the admission
+        path serialises every eviction behind it.  The reclaimer keeps
+        free space above a low-water mark instead;
+        :meth:`_ensure_log_space` remains the synchronous backstop for
+        bursts that outrun it.  The dirty cleaner mirrors LC's λ policy:
+        it drains the dirty heap *in place* (SSD read + disk write, no
+        log movement, so no WAF impact), which keeps dirty entries from
+        piling up in cold segments where flushing them would put 8 ms
+        random disk writes inside the space-reclaim pipeline.
+        """
+        if not self._cleaner_started:
+            self._cleaner_started = True
+            self._cleaner_wakeup = self.env.event()
+            self._dirty_wakeup = self.env.event()
+            self.env.process(self._cleaner_loop())
+            self.env.process(self._dirty_cleaner_loop())
+
+    def _maybe_wake_cleaner(self) -> None:
+        if (self._cleaner_wakeup is not None
+                and not self._cleaner_wakeup.triggered
+                and self._free_slots < self._reclaim_low_water):
+            self._cleaner_wakeup.succeed()
+
+    def _after_dirty_cached(self) -> None:
+        if (self._dirty_wakeup is not None
+                and not self._dirty_wakeup.triggered
+                and self.table.dirty_count > self.config.dirty_limit_frames):
+            self._dirty_wakeup.succeed()
+
+    def _dirty_cleaner_loop(self) -> Generator[object, Any, None]:
+        while True:
+            if self._detach_started:
+                return
+            if self.table.dirty_count <= self.config.dirty_limit_frames:
+                self._dirty_wakeup = self.env.event()
+                yield self._dirty_wakeup
+                continue
+            target = self.config.clean_target_frames
+            empty_rounds = 0
+            while (self.table.dirty_count > target
+                   and not self._detach_started):
+                wave = []
+                while len(wave) < self.config.cleaner_concurrency:
+                    record = self.dirty_heap.pop()
+                    if record is None:
+                        break
+                    if not (record.occupied and record.valid
+                            and record.dirty):
+                        continue
+                    if (record.version
+                            <= self.disk.disk_version(record.page_id)):
+                        # Disk already has this version: clean by fiat.
+                        self.table.set_dirty(record, False)
+                        self.clean_heap.push(record)
+                        continue
+                    wave.append((record, record.page_id, record.version))
+                if not wave:
+                    empty_rounds += 1
+                    if empty_rounds >= self._STALL_LIMIT:
+                        break
+                    yield self.env.timeout(0.001)
+                    continue
+                pending = [self.env.process(self._flush_entry(r, pid, ver))
+                           for r, pid, ver in wave]
+                results = yield self.env.all_of(pending)
+                # Entries that stayed dirty (fault, or superseded and
+                # re-dirtied mid-flight) go back in the heap so the
+                # cleaners and checkpoints can still find them.
+                for record, pid, ver in wave:
+                    if (record.occupied and record.valid and record.dirty
+                            and record.page_id == pid):
+                        self.dirty_heap.push(record)
+                if any(results.values()):
+                    empty_rounds = 0
+                else:
+                    empty_rounds += 1
+                    if empty_rounds >= self._STALL_LIMIT:
+                        break
+                    yield self.env.timeout(0.001)
+
+    def _cleaner_loop(self) -> Generator[object, Any, None]:
+        # Clean far enough past the low-water mark that the free pool
+        # holds whole segments: admission batches then never wait in
+        # _ensure_log_space, and the cold relocation stream gets real
+        # segments instead of falling back to the hot one.
+        high = self._reclaim_low_water + 3 * self.config.ls_segment_pages
+        while True:
+            if self._detach_started:
+                return
+            if self._free_slots >= self._reclaim_low_water:
+                self._cleaner_wakeup = self.env.event()
+                yield self._cleaner_wakeup
+                continue
+            stalled = 0
+            while (self._free_slots < high and not self._detach_started
+                   and self.table.used_count > 0):
+                before = self._free_slots
+                yield from self._reclaim_segment()
+                if self._free_slots > before:
+                    stalled = 0
+                    continue
+                stalled += 1
+                if stalled >= self._STALL_LIMIT:
+                    break
+                yield self.env.timeout(0.001)
+
+    def _ensure_log_space(self,
+                          needed: int) -> Generator[object, Any, None]:
+        """Process step: clean segments until ``needed`` slots fit."""
+        stalled = 0
+        while (self._free_slots < needed and not self._detach_started
+               and self.table.used_count > 0):
+            before = self._free_slots
+            yield from self._reclaim_segment()
+            if self._free_slots > before:
+                stalled = 0
+                continue
+            stalled += 1
+            if stalled >= self._STALL_LIMIT:
+                raise RuntimeError(
+                    f"LS reclaim stalled: {stalled} rounds without "
+                    f"progress, free={self._free_slots}, need={needed}")
+            yield self.env.timeout(0.001)
+
+    def _reclaim_segment(self) -> Generator[object, Any, None]:
+        """Process step: single-flight wrapper around segment cleaning."""
+        if self._reclaim_busy is not None:
+            # Another flush is already reclaiming; piggyback on it.
+            yield self._reclaim_busy
+            return
+        self._reclaim_busy = self.env.event()
+        try:
+            yield from self._do_reclaim()
+        finally:
+            busy, self._reclaim_busy = self._reclaim_busy, None
+            if busy is not None and not busy.triggered:
+                busy.succeed()
+
+    def _pick_victim(self) -> Optional[int]:
+        """Greedy victim selection: the deadest closed segment.
+
+        Dead entries (superseded / invalidated) are pure reclaimable
+        space; cleaning the segment with the fewest live entries frees
+        the most slots per unit of relocation work and keeps the live
+        fraction of the log — the actual cache capacity — high.  Ties
+        break toward the oldest segment (lowest sequence number).  Open
+        segments are exempt unless nothing else is allocated
+        (degenerate tiny logs).
+        """
+        open_segs = {self._open[0], self._cold[0]}
+        closed = [seg for seg in self._seg_seq if seg not in open_segs]
+        candidates = closed or [seg for seg in self._seg_seq]
+        best: Optional[int] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for seg in candidates:
+            seq = self._seg_seq[seg]
+            start = self._seg_start(seg)
+            live = 0
+            for frame_no in range(start, start + self._seg_size(seg)):
+                record = self.table.records[frame_no]
+                if record.occupied and record.valid:
+                    live += 1
+            key = (live, seq)
+            if best_key is None or key < best_key:
+                best, best_key = seg, key
+        return best
+
+    def _do_reclaim(self) -> Generator[object, Any, None]:
+        """Process step: clean one whole segment (greedy victim).
+
+        LFS-style compaction with capacity-driven eviction.  Superseded
+        and invalidated entries are dead and simply dropped — reclaiming
+        them is what keeps the log from wasting capacity on corpses, and
+        greedy victim selection means most reclaims find segments that
+        are mostly corpses.  Live entries *relocate* to the open segment
+        (one sequential segment read plus one sequential append, so
+        device-level WAF stays at 1), except that survivors are capped
+        so every round nets real space: when even the deadest segment is
+        mostly live (true capacity pressure), its least-recently-accessed
+        entries are evicted instead.  Relocation preserves each entry's
+        true ``last_access``, so the drop decision approximates LRU
+        rather than FIFO.  Entries holding the sole newest copy of
+        their page are flushed to disk before being dropped.  The freed
+        segment is TRIMmed so the FTL's own GC finds it empty.
+        """
+        victim = self._pick_victim()
+        if victim is None:
+            return
+        start = self._seg_start(victim)
+        size = self._seg_size(victim)
+        for stream in (self._open, self._cold):
+            if victim == stream[0]:
+                # Degenerate tiny log: close the stream and forfeit the
+                # unclaimed remainder until the reclaim below re-frees
+                # it (keeps ``_free_slots`` honest across the yields).
+                self._free_slots -= size - stream[1]
+                stream[0] = None
+        frames = list(range(start, start + size))
+        started = self.env.now
+        live = [self.table.records[f] for f in frames
+                if (self.table.records[f].occupied
+                    and self.table.records[f].valid)]
+        live.sort(key=lambda r: r.last_access, reverse=True)
+        keep: Set[int] = {r.frame_no for r in live[:size // 2]}
+        # Relocating entries move with their dirty flag intact — the
+        # background dirty cleaner flushes them on its own λ schedule.
+        # Only entries about to be *dropped* while holding the sole
+        # newest copy of their page must reach disk first (the backstop
+        # that makes capacity eviction safe).  With greedy victims these
+        # are rare, which keeps 8 ms random disk writes out of the
+        # reclaim pipeline — the pipeline every admission batch queues
+        # behind under space pressure.
+        targets = []
+        for record in live[size // 2:]:
+            if (record.dirty and record.version
+                    > self.disk.disk_version(record.page_id)):
+                targets.append((record, record.page_id, record.version))
+        flushed = 0
+        for wave_start in range(0, len(targets),
+                                self.config.cleaner_concurrency):
+            wave = targets[wave_start:wave_start
+                           + self.config.cleaner_concurrency]
+            pending = [self.env.process(self._flush_entry(r, pid, ver))
+                       for r, pid, ver in wave]
+            results = yield self.env.all_of(pending)
+            if not all(results.values()):
+                # Fault or device death mid-flush: abandon this round
+                # with the segment intact; the caller retries (or the
+                # detach redo takes over).
+                return
+            flushed += len(wave)
+        if self._detach_started:
+            return
+        if keep:
+            ok = yield from self._read_live_runs(keep)
+            if not ok or self._detach_started:
+                return
+        # Capture survivors *after* the last yield: an entry may have
+        # been superseded, invalidated, or cleaned while the flush and
+        # read I/Os were in flight.  From here to the relocation write
+        # everything runs without yielding.
+        survivors: List[Tuple[int, int, bool, int, float]] = []
+        relocating: Set[int] = set()
+        for frame_no in frames:
+            if frame_no not in keep:
+                continue
+            record = self.table.records[frame_no]
+            if record.occupied and record.valid:
+                survivors.append((record.page_id, record.version,
+                                  record.dirty, record.rec_lsn,
+                                  record.last_access))
+                relocating.add(frame_no)
+        dropped = 0
+        for frame_no in frames:
+            record = self.table.records[frame_no]
+            if record.occupied:
+                if record.valid and frame_no not in relocating:
+                    self.stats.evictions += 1
+                    self._tm_evictions.inc()
+                    dropped += 1
+                self.clean_heap.remove(record)
+                self.dirty_heap.remove(record)
+                self.table.release(record)
+            self._journal.pop(frame_no, None)
+        self._free_slots += size
+        self.device.trim(start, size)
+        self._seg_seq.pop(victim, None)
+        self._free_segs.append(victim)
+        relocated = 0
+        if survivors and not self._detach_started:
+            now = self.env.now
+            new_frames: List[int] = []
+            for page_id, version, dirty, rec_lsn, last_access in survivors:
+                frame_no = self._claim_frame(cold=True)
+                old = self.table.lookup(page_id)
+                if old is not None and old.occupied:
+                    self.clean_heap.remove(old)
+                    self.dirty_heap.remove(old)
+                    self.table.invalidate_logical(old)
+                record = self.table.take_frame(frame_no)
+                self.table.install(record, page_id, version, dirty, now,
+                                   rec_lsn=rec_lsn)
+                # Relocation is not an access: keep the entry's true
+                # recency so the next cleaning pass ranks it honestly.
+                record.last_access = last_access
+                self._reheap(record)
+                self._journal[frame_no] = (page_id, version, dirty,
+                                           rec_lsn, self._next_epoch)
+                self._next_epoch += 1
+                new_frames.append(frame_no)
+            ok = yield from self._write_frame_runs(new_frames)
+            if ok:
+                relocated = len(survivors)
+                self._tm_relocations.inc(relocated)
+            else:
+                self._roll_back(new_frames)
+        self.stats.cleaner_pages += flushed
+        self.stats.cleaner_ios += 1
+        self._tm_reclaims.inc()
+        if flushed:
+            self._tm_reclaim_flushes.inc(flushed)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "log_reclaim", started, self.env.now, "cleaner", "cleaner",
+                {"segment": victim, "segment_start": start, "pages": size,
+                 "dirty_flushed": flushed, "valid_dropped": dropped,
+                 "relocated": relocated})
+
+    def _read_live_runs(self,
+                        keep: Set[int]) -> Generator[object, Any, bool]:
+        """Process step: sequentially read a victim's surviving frames.
+
+        These are *must* reads: a survivor may hold the only newest
+        copy of its page, and giving up would strand it.  Only device
+        death fails the read, and then the detach redo takes over.
+        """
+        runs: List[List[int]] = []
+        for frame_no in sorted(keep):
+            if runs and runs[-1][0] + runs[-1][1] == frame_no:
+                runs[-1][1] += 1
+            else:
+                runs.append([frame_no, 1])
+        pieces = [piece for address, count in runs
+                  for piece in self._stripe(address, count)]
+        pending = [self.env.process(self._ssd_io(
+            lambda address=address, count=count: self.device.read(
+                address, count, random=False, ctx=CLEANER_CTX),
+            must=True)) for address, count in pieces]
+        results = yield self.env.all_of(pending)
+        return all(results.values())
+
+    def _flush_entry(self, record: SsdRecord, page_id: int, version: int,
+                     ctx: Any = CLEANER_CTX) -> Generator[object, Any, bool]:
+        """Process step: copy one newest-copy log entry back to disk.
+
+        SSD -> memory -> disk, like the LC cleaner.  The read is a
+        *must* read: this is the only non-log copy of the version.
+        Returns True when the disk write landed.
+        """
+        ok = yield from self._ssd_read_frame(record.frame_no, must=True,
+                                             ctx=ctx)
+        if not ok:
+            return False
+        try:
+            yield from self.disk.write(page_id, version, sequential=False,
+                                       ctx=ctx)
+        except IoFault:
+            return False
+        # Mark clean only if the record still describes what we wrote —
+        # it may have been superseded or invalidated mid-flight.
+        if (record.valid and record.dirty and record.page_id == page_id
+                and record.version == version):
+            self.table.set_dirty(record, False)
+            self.clean_heap.push(record)
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpoint integration (§3.2, same rule as LC)
+    # ------------------------------------------------------------------
+
+    def oldest_dirty_rec_lsn(self) -> Optional[int]:
+        """Include entries still staged in unflushed batches."""
+        lsns = [r.rec_lsn for r in self.table.occupied_records()
+                if r.valid and r.dirty]
+        for batch in self._pending_batches:
+            lsns.extend(rec_lsn for _, _, dirty, rec_lsn in batch.entries
+                        if dirty)
+        return min(lsns) if lsns else None
+
+    def on_checkpoint(self) -> Generator[object, Any, None]:
+        """Land staged batches, then flush every dirty log entry."""
+        batch = self._batch
+        if batch is not None and batch.entries:
+            self._close_batch(batch)
+        for pending in list(self._pending_batches):
+            if not pending.done.triggered:
+                yield pending.done
+        empty_rounds = 0
+        while self.table.dirty_count > 0:
+            if self._detach_started:
+                # The detach redo makes the dirty pages durable, which
+                # is all this phase needs; wait rather than race it.
+                yield from self._await_detach()
+                break
+            targets = []
+            for record in self.table.occupied_records():
+                if record.valid and record.dirty:
+                    targets.append((record, record.page_id, record.version))
+                    if len(targets) >= self.config.cleaner_concurrency:
+                        break
+            progressed = 0
+            flush_wave = []
+            for record, page_id, version in targets:
+                if version > self.disk.disk_version(page_id):
+                    flush_wave.append((record, page_id, version))
+                else:
+                    # Disk already has this version: clean by fiat.
+                    self.table.set_dirty(record, False)
+                    self.clean_heap.push(record)
+                    progressed += 1
+            if flush_wave:
+                pending_ios = [
+                    self.env.process(
+                        self._flush_entry(r, pid, ver, ctx=CHECKPOINT_CTX))
+                    for r, pid, ver in flush_wave]
+                results = yield self.env.all_of(pending_ios)
+                landed = sum(1 for ok in results.values() if ok)
+                progressed += landed
+                self.stats.checkpoint_ssd_flushes += landed
+            if progressed == 0:
+                empty_rounds += 1
+                if empty_rounds >= self._STALL_LIMIT:
+                    raise RuntimeError(
+                        f"LS checkpoint drain stalled: "
+                        f"dirty_count={self.table.dirty_count}")
+                yield self.env.timeout(0.001)
+            else:
+                empty_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Detach / crash / restart
+    # ------------------------------------------------------------------
+
+    def _clear_ssd_state(self) -> None:
+        super()._clear_ssd_state()
+        self._open = [None, 0]
+        self._cold = [None, 0]
+        self._free_segs = list(range(self._nseg))
+        self._seg_seq.clear()
+        self._next_seq = 0
+        self._next_epoch = 0
+        self._free_slots = self.config.ssd_frames
+        self._journal.clear()
+
+    def on_crash(self) -> None:
+        """Rebuild the mapping by replaying the on-flash log.
+
+        The in-DRAM hash dies with the crash, but the log records are on
+        the device (modelled by ``_journal``), each carrying its append
+        epoch — the total write order, which segment order alone cannot
+        give once relocations append to a second stream.  Replaying in
+        epoch order makes later entries supersede earlier ones exactly
+        as the live path did.  Stale/uncommitted entries are weeded out
+        by :meth:`on_restart` once redo has settled what disk truth is.
+        Idempotent — the crash harness may call it more than once per
+        crash.
+        """
+        self.table.clear()
+        self.clean_heap.clear()
+        self.dirty_heap.clear()
+        if (self.detached or self._detach_started
+                or self.config.ssd_frames == 0):
+            return
+        replayed = 0
+        for frame_no, entry in sorted(self._journal.items(),
+                                      key=lambda item: item[1][4]):
+            page_id, version, dirty, rec_lsn, _epoch = entry
+            prev = self.table.lookup(page_id)
+            if prev is not None and prev.occupied:
+                self.table.invalidate_logical(prev)
+            record = self.table.take_frame(frame_no)
+            self.table.install(record, page_id, version, dirty, 0.0,
+                               rec_lsn=rec_lsn)
+            replayed += 1
+        if replayed:
+            self._tm_replays.inc(replayed)
+            if self._tracer.enabled:
+                self._tracer.instant("ls_log_replay", "ssd", "ssd_manager",
+                                     {"entries": replayed})
+
+    def on_restart(self, last_checkpoint_lsn: int) -> None:
+        """After redo: keep replayed entries that match disk, as clean.
+
+        This is LS's free warm restart: a log entry whose version equals
+        the recovered disk version is a correct clean cache hit.  Torn
+        batch tails (written to the journal but never made durable) and
+        uncommitted versions necessarily differ from the redone disk and
+        die here, which is what makes replaying them in
+        :meth:`on_crash` safe.
+        """
+        for record in list(self.table.occupied_records()):
+            if not record.valid:
+                continue
+            if record.version == self.disk.disk_version(record.page_id):
+                self.table.set_dirty(record, False)
+                self.clean_heap.push(record)
+            else:
+                self.clean_heap.remove(record)
+                self.dirty_heap.remove(record)
+                self.table.invalidate_logical(record)
+
+    def crash_reset(self) -> None:
+        """Hard-crash restart: staged batches, the reclaim latch, and
+        the reclaimer process died with the event queue; the journal and
+        segment layout (device-durable) survive and are replayed by
+        ``on_crash`` via the base implementation."""
+        self._batch = None
+        self._pending_batches.clear()
+        self._reclaim_busy = None
+        self._cleaner_started = False
+        self._cleaner_wakeup = None
+        self._dirty_wakeup = None
+        super().crash_reset()
+        if not self.detached:
+            self.start_cleaner()

@@ -213,7 +213,12 @@ class SsdBufferTable:
             self._valid -= 1
             if record.dirty:
                 self._dirty -= 1
-        del self._hash[record.page_id]
+        # The hash may already point at a *newer* record for the same
+        # page (the LS log supersedes entries in place and frees the old
+        # one only when its segment is reclaimed) — only unlink the hash
+        # entry if it is ours.
+        if self._hash.get(record.page_id) is record:
+            del self._hash[record.page_id]
         record.reset()
         self._free.append(record.frame_no)
 

@@ -163,6 +163,18 @@ class SsdManagerBase:
         return self.table.used_count
 
     @property
+    def admission_fill_level(self) -> int:
+        """Occupancy the admission fill phase (§3.3.2, τ·S) compares to.
+
+        For the in-place designs every occupied frame is a cached page,
+        so this is just :attr:`used_frames`.  LS overrides it with its
+        valid-entry count: dead log entries awaiting tail reclaim are
+        reclaimable space, not cached pages, and counting them would end
+        the aggressive-fill phase while the cache is still half empty.
+        """
+        return self.used_frames
+
+    @property
     def dirty_frames(self) -> int:
         """Dirty (newer-than-disk) SSD frames."""
         return self.table.dirty_count
@@ -427,7 +439,7 @@ class SsdManagerBase:
             existing.record_access(self.env.now)
             self._reheap(existing)
             return
-        if self.admission.qualifies(frame, self.used_frames):
+        if self.admission.qualifies(frame, self.admission_fill_level):
             # A clean frame can still be *newer than disk*: under LC a
             # page whose only up-to-date copy lived in the SSD is read
             # back clean.  Re-caching it as clean would strand the newest
@@ -456,6 +468,21 @@ class SsdManagerBase:
 
     def _after_dirty_cached(self) -> None:
         """Hook: a dirty page entered the SSD (LC wakes its cleaner)."""
+
+    def start_cleaner(self) -> None:
+        """Hook: launch background maintenance, if the design has any.
+
+        LC runs a lazy-cleaning thread, LS a tail reclaimer; the other
+        designs have nothing to start.  Idempotent everywhere.
+        """
+
+    def admission_flush_hint(self) -> None:
+        """Hook: the buffer pool's eviction pressure has drained.
+
+        Batching designs (LS) close and flush any partially filled
+        admission batch here instead of waiting out the batch timeout;
+        everyone else ignores it.
+        """
 
     def invalidate(self, page_id: int) -> None:
         """A buffered page was dirtied: drop the SSD copy (physical)."""

@@ -10,6 +10,8 @@ by ``@t=<seconds>`` / ``:key=value`` parameters::
     log_stall@t=10:dur=2            the log device freezes for 2 s at t=10
     disk_stall@t=10:dur=2           ... the data volume
     ssd_stall@t=10:dur=2            ... the SSD
+    gc_stall@t=10:dur=0.5           forced GC burst + SSD freeze (FTL runs)
+    ssd_chan_die@t=30:n=2           2 of the SSD's channels fail at t=30
 
 ``FaultPlan.parse("ssd_die@t=30,transient:p=0.001")`` builds the plan;
 :meth:`FaultPlan.install` attaches one seeded :class:`~repro.faults
@@ -38,6 +40,8 @@ _KINDS: Dict[str, Set[str]] = {
     "log_stall": {"t", "dur"},
     "disk_stall": {"t", "dur"},
     "ssd_stall": {"t", "dur"},
+    "gc_stall": {"t", "dur"},
+    "ssd_chan_die": {"t", "n"},
 }
 _DEVICES: Tuple[str, ...] = ("disk", "ssd", "log")
 _STALL_DEVICE: Dict[str, str] = {"log_stall": "log", "disk_stall": "disk",
@@ -54,6 +58,7 @@ class FaultSpec:
     factor: float = 10.0         # latency inflation (latency:x=)
     at: Optional[float] = None   # trigger time (ssd_die/.._stall:@t=)
     duration: float = 1.0        # stall window length (.._stall:dur=)
+    count: int = 1               # failing channel count (ssd_chan_die:n=)
 
 
 class FaultPlan:
@@ -117,20 +122,27 @@ class FaultPlan:
                 f"choose from {_DEVICES + ('all',)}")
         if kind in _STALL_DEVICE:
             device = _STALL_DEVICE[kind]
-        elif kind == "ssd_die":
+        elif kind in ("ssd_die", "gc_stall", "ssd_chan_die"):
             device = "ssd"
         p = _float("p", 0.0)
         assert p is not None  # default is non-None
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p={p} in {clause!r} must be in [0, 1]")
         at = _float("t", None)
-        if kind in ("ssd_die",) + tuple(_STALL_DEVICE) and at is None:
+        timed = ("ssd_die", "gc_stall", "ssd_chan_die") + tuple(_STALL_DEVICE)
+        if kind in timed and at is None:
             raise ValueError(f"fault {kind!r} requires @t=<seconds>")
         factor = _float("x", 10.0)
         duration = _float("dur", 1.0)
         assert factor is not None and duration is not None
+        count_f = _float("n", 1.0)
+        assert count_f is not None
+        count = int(count_f)
+        if count < 1:
+            raise ValueError(f"n={count} in {clause!r} must be >= 1")
         return FaultSpec(kind=kind, device=device, p=p,
-                         factor=factor, at=at, duration=duration)
+                         factor=factor, at=at, duration=duration,
+                         count=count)
 
     # ------------------------------------------------------------------
     # Installation
@@ -163,6 +175,10 @@ class FaultPlan:
             elif spec.kind == "ssd_die":
                 assert spec.at is not None  # enforced by _parse_clause
                 env.process(self._die_at(system, injector("ssd"), spec.at))
+            elif spec.kind == "gc_stall":
+                env.process(self._gc_stall_at(system, injector("ssd"), spec))
+            elif spec.kind == "ssd_chan_die":
+                env.process(self._chan_die_at(system, injector("ssd"), spec))
             else:  # *_stall
                 env.process(self._stall_at(injector(spec.device), spec))
         return self.injectors
@@ -187,3 +203,34 @@ class FaultPlan:
         if at > env.now:
             yield env.timeout(at - env.now)
         injector.stall(spec.duration)
+
+    @staticmethod
+    def _gc_stall_at(system: "System", injector: FaultInjector,
+                     spec: FaultSpec) -> Generator[object, object, None]:
+        """A garbage-collection storm: the device freezes while the FTL
+        erases a burst of blocks (forced GC when the model is attached;
+        a plain stall otherwise)."""
+        env = injector.env
+        at = spec.at
+        assert at is not None  # enforced by _parse_clause
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        ftl = getattr(system.ssd_device, "ftl", None)
+        if ftl is not None:
+            ftl.force_gc()
+        injector.stall(spec.duration)
+
+    @staticmethod
+    def _chan_die_at(system: "System", injector: FaultInjector,
+                     spec: FaultSpec) -> Generator[object, object, None]:
+        """Partial-failure mode: ``n`` of the SSD's channels die, slowing
+        the survivors; losing every channel degenerates to ``ssd_die``."""
+        env = injector.env
+        at = spec.at
+        assert at is not None  # enforced by _parse_clause
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        alive = system.ssd_device.fail_channels(spec.count)
+        if alive == 0:
+            injector.kill()
+            env.process(system.ssd_manager.detach())

@@ -89,14 +89,20 @@ def make_system(benchmark: str, workload, design: str,
                 checkpoint_interval: Optional[float] = None,
                 warm_restart: bool = False,
                 expand_reads: bool = False,
+                ftl: bool = False,
                 telemetry=None, faults=None) -> System:
-    """Assemble a system sized for ``workload`` running ``design``."""
+    """Assemble a system sized for ``workload`` running ``design``.
+
+    ``ftl=True`` models the SSD's internals (erase blocks, GC, WAF
+    accounting; DESIGN.md §10) instead of the flat Table 1 timing.
+    """
     ssd_frames = 0 if design == "noSSD" else profile.ssd_frames
     ssd = SsdDesignConfig(
         ssd_frames=ssd_frames,
         dirty_threshold=(dirty_threshold if dirty_threshold is not None
                          else PAPER_LAMBDA.get(benchmark, 0.5)),
         warm_restart=warm_restart,
+        ftl_enabled=ftl,
     )
     config = SystemConfig(
         design=design,
@@ -118,6 +124,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                         nworkers: int = 32,
                         bucket_seconds: float = 2.0,
                         expand_reads: bool = False,
+                        ftl: bool = False,
                         seed: int = 20110612,
                         telemetry=None, faults=None) -> RunResult:
     """One OLTP run: the building block of Figures 5–9.
@@ -131,7 +138,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
     system = make_system(benchmark, workload, design, profile,
                          dirty_threshold=dirty_threshold,
                          checkpoint_interval=checkpoint_interval,
-                         expand_reads=expand_reads,
+                         expand_reads=expand_reads, ftl=ftl,
                          telemetry=telemetry, faults=faults)
     tracer = system.telemetry.tracer
     if tracer.enabled:

@@ -37,6 +37,15 @@ class Sample:
     bp_hits: int = 0
     bp_misses: int = 0
     bp_ssd_hits: int = 0
+    # Cumulative FTL counters (0 when the SSD runs the black-box model).
+    ftl_host_writes: int = 0
+    ftl_nand_writes: int = 0
+    ftl_erases: int = 0
+
+
+def _ftl_stat(system, field: str) -> int:
+    ftl = getattr(system.ssd_device, "ftl", None)
+    return getattr(ftl.stats, field) if ftl is not None else 0
 
 
 #: The sampled fields, declared once: (name, getter) pairs shared by the
@@ -51,6 +60,9 @@ SAMPLE_FIELDS = (
     ("bp_hits", lambda s: s.bp.stats.hits),
     ("bp_misses", lambda s: s.bp.stats.misses),
     ("bp_ssd_hits", lambda s: s.bp.stats.ssd_hits),
+    ("ftl_host_writes", lambda s: _ftl_stat(s, "host_writes")),
+    ("ftl_nand_writes", lambda s: _ftl_stat(s, "nand_writes")),
+    ("ftl_erases", lambda s: _ftl_stat(s, "erases")),
 )
 
 
@@ -122,6 +134,14 @@ class Sampler:
                                 "misses": values["bp_misses"],
                                 "ssd_hits": values["bp_ssd_hits"]},
                                track="sampler")
+                # Emitted only when the FTL model is active so that
+                # black-box traces stay byte-identical to before.
+                if getattr(system.ssd_device, "ftl", None) is not None:
+                    tracer.counter("ftl",
+                                   {"host_writes": values["ftl_host_writes"],
+                                    "nand_writes": values["ftl_nand_writes"],
+                                    "erases": values["ftl_erases"]},
+                                   track="sampler")
             yield system.env.timeout(self.interval)
 
     def fill_time(self, threshold_frames: int) -> float:

@@ -40,6 +40,7 @@ from typing import (Any, Callable, Dict, List, Optional, Set, TextIO,
                     Tuple)
 
 from repro.core.ssd_manager import SsdStats
+from repro.storage.ftl import FtlStats
 from repro.engine.buffer_pool import BufferPoolStats
 from repro.harness.experiments import (
     SCALE_PROFILES,
@@ -83,6 +84,7 @@ class RunSpec:
     dirty_threshold: Optional[float] = None
     checkpoint_interval: Optional[float] = None
     expand_reads: bool = False
+    ftl: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("oltp", "tpch"):
@@ -105,6 +107,7 @@ class RunSpec:
             "dirty_threshold": self.dirty_threshold,
             "checkpoint_interval": self.checkpoint_interval,
             "expand_reads": self.expand_reads,
+            "ftl": self.ftl,
         }
 
     @staticmethod
@@ -181,6 +184,13 @@ def _snapshot_oltp(result: RunResult) -> Dict[str, Any]:
     bp_stats = vars(system.bp.stats).copy()
     manager = system.ssd_manager
     checkpointer = system.checkpointer
+    ftl = getattr(system.ssd_device, "ftl", None)
+    ftl_snap: Optional[Dict[str, Any]] = None
+    if ftl is not None:
+        ftl_snap = {"stats": vars(ftl.stats).copy(),
+                    "waf": ftl.waf,
+                    "wear_spread": ftl.wear_spread,
+                    "free_blocks": ftl.free_block_count}
     data: Dict[str, Any] = {
         "kind": "oltp",
         "design": result.design,
@@ -209,6 +219,7 @@ def _snapshot_oltp(result: RunResult) -> Dict[str, Any]:
                 "fill_threshold": manager.config.fill_threshold,
                 "fill_target_frames": manager.config.fill_target_frames,
             },
+            "ftl": ftl_snap,
         },
         "checkpointer": {
             "checkpoints_started": checkpointer.checkpoints_started,
@@ -272,10 +283,20 @@ def restore(data: Dict[str, Any]) -> Any:
         table=_Attrs(invalid_count=ssd["invalid_count"]),
         config=_Attrs(**ssd["config"]),
     )
+    ftl_snap = ssd.get("ftl")
+    ftl_attrs = None
+    if ftl_snap is not None:
+        ftl_attrs = _Attrs(
+            stats=FtlStats(**ftl_snap["stats"]),
+            waf=ftl_snap["waf"],
+            wear_spread=ftl_snap["wear_spread"],
+            free_block_count=ftl_snap["free_blocks"],
+        )
     system = _Attrs(
         design=data["design"],
         bp=_Attrs(stats=bp_stats),
         ssd_manager=manager,
+        ssd_device=_Attrs(ftl=ftl_attrs),
         checkpointer=_Attrs(**data["checkpointer"]),
     )
     return RunResult(
@@ -352,7 +373,7 @@ def execute(spec: RunSpec) -> Any:
         dirty_threshold=spec.dirty_threshold,
         checkpoint_interval=spec.checkpoint_interval,
         nworkers=spec.nworkers, bucket_seconds=spec.bucket_seconds,
-        expand_reads=spec.expand_reads, seed=spec.seed)
+        expand_reads=spec.expand_reads, ftl=spec.ftl, seed=spec.seed)
 
 
 def run_cached(spec: RunSpec, directory: Optional[Path] = None,
@@ -489,6 +510,10 @@ def summarize(report: SweepReport) -> List[Dict[str, Any]]:
             row.update(metric=result.metric_name,
                        value=result.steady_state_throughput(),
                        total_txns=result.total_metric_txns)
+            ftl = getattr(getattr(result.system, "ssd_device", None),
+                          "ftl", None)
+            if ftl is not None:
+                row["waf"] = ftl.waf
         rows.append(row)
     return rows
 

@@ -7,8 +7,8 @@ from typing import Optional
 
 from repro.sim import Environment
 from repro.storage import HddArray, Ssd
+from repro.storage.ftl import FtlConfig
 from repro.core import DESIGNS, SsdDesignConfig
-from repro.core.lc import LazyCleaningManager
 from repro.engine import (
     BufferPool,
     Checkpointer,
@@ -69,7 +69,18 @@ class System:
         self.telemetry.set_clock(lambda: self.env.now)
         total_pages = config.db_pages + config.slack_pages
         self.data_device = HddArray(self.env, ndisks=config.data_disks)
-        self.ssd_device = Ssd(self.env)
+        if config.ssd.ftl_enabled and config.ssd.ssd_frames > 0:
+            # Model the SSD's internals: the logical space the FTL maps
+            # is exactly the design's S frames.
+            self.ssd_device = Ssd(
+                self.env,
+                ftl=FtlConfig(
+                    pages_per_block=config.ssd.ftl_pages_per_block,
+                    op_ratio=config.ssd.ftl_op_ratio,
+                    gc_low_water_blocks=config.ssd.ftl_gc_low_water),
+                logical_pages=config.ssd.ssd_frames)
+        else:
+            self.ssd_device = Ssd(self.env)
         if self.telemetry.enabled:
             self.data_device.attach_telemetry(self.telemetry)
             self.ssd_device.attach_telemetry(self.telemetry)
@@ -87,8 +98,7 @@ class System:
             expand_reads=config.expand_reads,
             telemetry=self.telemetry)
         self.ssd_manager.bp = self.bp
-        if isinstance(self.ssd_manager, LazyCleaningManager):
-            self.ssd_manager.start_cleaner()
+        self.ssd_manager.start_cleaner()
         checkpointer_cls = (FuzzyCheckpointer
                             if config.checkpoint_policy == "fuzzy"
                             else Checkpointer)

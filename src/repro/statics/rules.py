@@ -255,7 +255,8 @@ class DeterminismRule(Rule):
     name = "determinism"
     description = ("no wall-clock time, global random state, or "
                    "set-ordered scheduling inside the simulator")
-    paths = ("repro/sim/", "repro/core/", "repro/engine/")
+    paths = ("repro/sim/", "repro/core/", "repro/engine/",
+             "repro/storage/ftl/")
 
     _FORBIDDEN_CALLS = {
         "time.time": "wall-clock time",

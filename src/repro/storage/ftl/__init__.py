@@ -1,0 +1,28 @@
+"""SSD internals: a flash translation layer (FTL) model.
+
+The 2011 paper treats the SSD as a black box with Table 1 service times.
+This package models what happens *underneath* those service times on
+modern flash — a page-mapping FTL over erase blocks with background
+garbage collection — so the reproduction can measure device-level write
+amplification and wear per caching design ("How to Write to SSDs",
+PVLDB 2026; see PAPERS.md and DESIGN.md §10).
+
+The model is pure bookkeeping: it is deterministic, has no dependency on
+the event kernel, and returns the NAND work (programs, reads, erases)
+each host operation triggered.  :class:`repro.storage.ssd.Ssd` converts
+that work into virtual service time.
+"""
+
+from repro.storage.ftl.model import (
+    FlashTranslationLayer,
+    FtlConfig,
+    FtlStats,
+    FtlWork,
+)
+
+__all__ = [
+    "FlashTranslationLayer",
+    "FtlConfig",
+    "FtlStats",
+    "FtlWork",
+]

@@ -217,6 +217,11 @@ class DesignAnalysis:
     #: Fault-category event name → occurrence count (injected faults,
     #: retries, SSD detach, degradation redo — ``cat == "fault"``).
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Device-level flash counters from the FTL model (DESIGN.md §10):
+    #: final cumulative ``host_writes`` / ``nand_writes`` / ``erases``
+    #: plus the derived ``waf`` and the count of traced GC bursts.
+    #: Empty when the run used the black-box SSD timing.
+    ftl: Dict[str, float] = field(default_factory=dict)
 
     @property
     def truncated(self) -> bool:
@@ -363,6 +368,23 @@ def analyze_trace(path: str) -> DesignAnalysis:
             elif name == "bp_dirty":
                 _series_point(analysis.series, "bp_dirty",
                               ts, args.get("frames", 0))
+            elif name == "ftl":
+                host = args.get("host_writes", 0)
+                nand = args.get("nand_writes", 0)
+                erases = args.get("erases", 0)
+                _series_point(analysis.series, "ftl_host_writes", ts, host)
+                _series_point(analysis.series, "ftl_nand_writes", ts, nand)
+                _series_point(analysis.series, "ftl_erases", ts, erases)
+                # Counters are cumulative, so the last sample is the
+                # run's final total.
+                analysis.ftl.update(
+                    host_writes=float(host), nand_writes=float(nand),
+                    erases=float(erases),
+                    waf=(nand / host if host else 0.0))
+            continue
+
+        if name == "ftl_gc":
+            analysis.ftl["gc_events"] = analysis.ftl.get("gc_events", 0.0) + 1
             continue
 
         if event.get("cat") == "fault":
@@ -492,6 +514,32 @@ def format_interference_table(analyses: Sequence[DesignAnalysis]) -> str:
                         ["design"] + origins, rows)
 
 
+def format_ftl_table(analyses: Sequence[DesignAnalysis]) -> str:
+    """Device-level write amplification per design (FTL model runs)."""
+    from repro.harness.report import format_table
+
+    rows = []
+    for analysis in analyses:
+        ftl = analysis.ftl
+        if not ftl:
+            rows.append([analysis.design, "-", "-", "-", "-", "-"])
+            continue
+        waf = ftl.get("waf", 0.0)
+        rows.append([
+            analysis.design,
+            f"{int(ftl.get('host_writes', 0))}",
+            f"{int(ftl.get('nand_writes', 0))}",
+            f"{int(ftl.get('erases', 0))}",
+            f"{waf:.3f}" if waf else "-",
+            f"{int(ftl.get('gc_events', 0))}",
+        ])
+    return format_table(
+        "Flash internals (write amplification)",
+        ["design", "host_writes", "nand_writes", "erases", "waf",
+         "gc_bursts"],
+        rows)
+
+
 def format_faults_table(analyses: Sequence[DesignAnalysis]) -> str:
     """Injected faults and the engine's reactions, per design."""
     from repro.harness.report import format_table
@@ -531,11 +579,13 @@ def bench_snapshot(analyses: Sequence[DesignAnalysis],
                 "dominant": att.dominant,
                 "components_s": att.components,
             }
-        designs[analysis.design] = {
+        entry = {
             "benchmark": analysis.benchmark,
             "scale": analysis.scale,
             "duration_s": analysis.duration,
             "txns": int(summary["count"]),
+            "throughput_tps": (summary["count"] / analysis.duration
+                               if analysis.duration else None),
             "latency_s": {key: summary[key]
                           for key in ("mean", "p50", "p95", "p99")},
             "attribution": attributions,
@@ -545,6 +595,15 @@ def bench_snapshot(analyses: Sequence[DesignAnalysis],
             },
             "truncated_events": analysis.dropped,
         }
+        if analysis.ftl:
+            entry["ftl"] = {
+                "host_writes": int(analysis.ftl.get("host_writes", 0)),
+                "nand_writes": int(analysis.ftl.get("nand_writes", 0)),
+                "erases": int(analysis.ftl.get("erases", 0)),
+                "waf": analysis.ftl.get("waf", 0.0),
+                "gc_bursts": int(analysis.ftl.get("gc_events", 0)),
+            }
+        designs[analysis.design] = entry
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "workload": workload,
@@ -615,4 +674,19 @@ def validate_bench(doc: object) -> List[str]:
         if not isinstance(truncated, int) or truncated < 0:
             errors.append(
                 f"{where}.truncated_events must be a non-negative integer")
+        ftl = entry.get("ftl")
+        if ftl is not None:
+            if not isinstance(ftl, dict):
+                errors.append(f"{where}.ftl is not an object")
+            else:
+                for key in ("host_writes", "nand_writes", "erases"):
+                    value = ftl.get(key)
+                    if not isinstance(value, int) or value < 0:
+                        errors.append(
+                            f"{where}.ftl.{key} must be a non-negative "
+                            f"integer")
+                if "waf" not in ftl or not _number(ftl["waf"]) \
+                        or ftl["waf"] < 0:
+                    errors.append(
+                        f"{where}.ftl.waf must be a non-negative number")
     return errors

@@ -7,7 +7,6 @@ import pytest
 from repro.sim import Environment
 from repro.storage import HddArray, Ssd
 from repro.core import DESIGNS, SsdDesignConfig
-from repro.core.lc import LazyCleaningManager
 from repro.engine import BufferPool, Checkpointer, Database, DiskManager, WriteAheadLog
 from repro.harness.system import System, SystemConfig
 
@@ -46,8 +45,7 @@ class MiniSystem:
         self.bp = BufferPool(self.env, bp_pages, self.disk, self.wal,
                              self.ssd_manager)
         self.ssd_manager.bp = self.bp
-        if isinstance(self.ssd_manager, LazyCleaningManager):
-            self.ssd_manager.start_cleaner()
+        self.ssd_manager.start_cleaner()
         self.checkpointer = Checkpointer(self.env, self.bp, self.wal)
         self.db = Database(db_pages)
 
