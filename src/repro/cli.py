@@ -11,8 +11,15 @@ Commands:
   processes through the on-disk run cache.
 * ``analyze`` — reconstruct per-transaction latency attribution from
   ``--trace`` output and emit terminal/HTML/JSON reports.
+* ``runs``    — query the run database every experiment records into
+  (list/show/compare/regress/bench; see ``repro.runstore``).
+* ``serve``   — HTML dashboard + JSON API over the run database.
 * ``lint``    — run the repo-specific AST invariant checker
   (``repro.statics``) over the sources.
+
+``oltp``/``tpch``/``sweep``/``chaos``/``analyze --bench`` record into
+the run store by default (``--db`` to point elsewhere, ``--no-db`` to
+skip); recording is best-effort and never fails the run.
 """
 
 from __future__ import annotations
@@ -64,6 +71,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 def _make_telemetry(args) -> Optional[Telemetry]:
     """A fresh telemetry sink when --trace/--metrics asked for one."""
     return Telemetry() if (args.trace or args.metrics) else None
+
+
+def _add_db_flags(parser: argparse.ArgumentParser) -> None:
+    """Recording flags shared by every experiment-running command."""
+    from repro.runstore.cli import add_db_argument
+    add_db_argument(parser)
+    parser.add_argument("--no-db", action="store_true",
+                        help="do not record runs into the run database")
+
+
+def _open_recording_store(args):
+    """The run store for a recording command, or None (``--no-db``, or
+    the database is unusable — recording is best-effort)."""
+    if getattr(args, "no_db", False):
+        return None
+    from repro.runstore.store import open_store
+    return open_store(getattr(args, "db", None))
 
 
 def _validate_trace(args) -> Optional[str]:
@@ -145,6 +169,7 @@ def cmd_oltp(args) -> int:
             print(f"--faults: {exc}", file=sys.stderr)
             return 2
     profile = SCALE_PROFILES[args.profile]
+    store = _open_recording_store(args)
     results = {}
     for design in designs:
         telemetry = _make_telemetry(args)
@@ -156,7 +181,8 @@ def cmd_oltp(args) -> int:
             profile=profile, nworkers=args.workers,
             dirty_threshold=args.dirty_threshold,
             checkpoint_interval=args.checkpoint_interval,
-            ftl=args.ftl, telemetry=telemetry, faults=faults)
+            ftl=args.ftl, telemetry=telemetry, faults=faults,
+            store=store)
         print(f"ran {design}", file=sys.stderr)
         system = results[design].system
         ftl = getattr(system.ssd_device, "ftl", None)
@@ -198,6 +224,8 @@ def cmd_oltp(args) -> int:
         f"({args.duration:.0f} virtual s, profile={args.profile})",
         ["design", metric, "speedup", "SSD hit", "SSD used", "SSD dirty"],
         rows))
+    if store is not None:
+        store.close()
     return 0
 
 
@@ -230,6 +258,18 @@ def cmd_chaos(args) -> int:
     total = len(result.outcomes)
     failed = len(result.failures)
     print(f"{total} crash points, {failed} failed", file=sys.stderr)
+    store = _open_recording_store(args)
+    if store is not None:
+        from repro.runstore.store import StoreError
+        try:
+            run_ids = store.record_chaos(result.outcomes, seed=args.seed)
+            print(f"recorded {len(run_ids)} chaos run(s) into {store.path}",
+                  file=sys.stderr)
+        except StoreError as exc:
+            print(f"runstore: {exc}; chaos sweep not recorded",
+                  file=sys.stderr)
+        finally:
+            store.close()
     return 1 if failed else 0
 
 
@@ -273,9 +313,14 @@ def cmd_sweep(args) -> int:
         for scale in scales for design in designs
     ]
     directory = Path(args.cache_dir) if args.cache_dir else None
+    store = _open_recording_store(args)
     report = run_sweep(specs, workers=args.workers, directory=directory,
                        use_cache=not args.no_cache,
-                       progress=progress_printer())
+                       progress=progress_printer(), store=store)
+    if store is not None:
+        print(f"recorded {report.recorded}/{len(specs)} runs "
+              f"into {store.path}", file=sys.stderr)
+        store.close()
     rows = summarize(report)
     has_waf = any("waf" in row for row in rows)
     table = [[row["spec"]["benchmark"], str(row["spec"]["scale"]),
@@ -305,17 +350,20 @@ def cmd_tpch(args) -> int:
         print(error, file=sys.stderr)
         return 2
     profile = SCALE_PROFILES[args.profile]
+    store = _open_recording_store(args)
     rows = []
     for design in designs:
         telemetry = _make_telemetry(args)
         result = run_tpch_experiment(args.sf, design, profile=profile,
-                                     telemetry=telemetry)
+                                     telemetry=telemetry, store=store)
         rows.append([design, f"{result.power:,.0f}",
                      f"{result.throughput:,.0f}", f"{result.qphh:,.0f}"])
         print(f"ran {design}", file=sys.stderr)
         _emit_telemetry(args, design, telemetry, len(designs) > 1)
     print(format_table(f"TPC-H @{args.sf} SF (profile={args.profile})",
                        ["design", "QppH", "QthH", "QphH"], rows))
+    if store is not None:
+        store.close()
     return 0
 
 
@@ -394,6 +442,18 @@ def cmd_analyze(args) -> int:
             json.dump(snapshot, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote benchmark snapshot to {args.bench}", file=sys.stderr)
+        store = _open_recording_store(args)
+        if store is not None:
+            from repro.runstore.store import StoreError
+            try:
+                store.record_bench(snapshot)
+                print(f"recorded benchmark snapshot into {store.path}",
+                      file=sys.stderr)
+            except StoreError as exc:
+                print(f"runstore: {exc}; snapshot not recorded",
+                      file=sys.stderr)
+            finally:
+                store.close()
     return 0
 
 
@@ -437,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="model the SSD's internals (erase blocks, GC, "
                              "write amplification; DESIGN.md §10)")
     _add_common(p_oltp)
+    _add_db_flags(p_oltp)
     p_oltp.set_defaults(func=cmd_oltp)
 
     p_chaos = sub.add_parser(
@@ -450,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--duration", type=float, default=8.0,
                          help="crash-window length in virtual seconds")
     p_chaos.add_argument("--checkpoint-interval", type=float, default=1.0)
+    _add_db_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_sweep = sub.add_parser(
@@ -483,11 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "cache")
     p_sweep.add_argument("--output", metavar="FILE", default=None,
                          help="write the merged metric table as JSON")
+    _add_db_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_tpch = sub.add_parser("tpch", help="run TPC-H power+throughput tests")
     p_tpch.add_argument("--sf", type=int, choices=(30, 100), default=30)
     _add_common(p_tpch)
+    _add_db_flags(p_tpch)
     p_tpch.set_defaults(func=cmd_tpch)
 
     p_analyze = sub.add_parser(
@@ -509,7 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--workload", default="oltp",
                            help="workload label for the reports "
                                 "(default: oltp)")
+    _add_db_flags(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
+
+    from repro.runstore.cli import (add_runs_arguments, add_serve_arguments,
+                                    cmd_runs, cmd_serve)
+    p_runs = sub.add_parser(
+        "runs", help="query the run database (list/show/compare/regress)")
+    add_runs_arguments(p_runs)
+    p_runs.set_defaults(func=cmd_runs)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTML dashboard + JSON API over the run database")
+    add_serve_arguments(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="run the repo-specific AST invariant checker")

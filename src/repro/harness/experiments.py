@@ -16,8 +16,9 @@ Paper                  Scaled (default)  Ratio preserved
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core import SsdDesignConfig
 from repro.harness.runner import RunResult, WorkloadRunner
@@ -60,6 +61,43 @@ SCALE_PROFILES: Dict[str, ScaleProfile] = {
 
 #: The paper's per-benchmark λ settings (Table 2).
 PAPER_LAMBDA = {"tpcc": 0.50, "tpce": 0.01, "tpch": 0.01}
+
+
+def profile_name(profile: ScaleProfile) -> str:
+    """The registry name of a profile (``"custom"`` if unregistered)."""
+    for name, known in SCALE_PROFILES.items():
+        if known == profile:
+            return name
+    return "custom"
+
+
+def _run_meta_args(design: str, benchmark: str, scale: int,
+                   duration: Optional[float],
+                   seed: Optional[int] = None) -> Dict[str, Any]:
+    """The ``run_meta`` instant payload: run identity + provenance.
+
+    Provenance (git commit/branch/dirty, sweep source hash) rides on
+    the trace so a JSONL file answers "which code produced this?"
+    exactly like a run-store row does.
+    """
+    from repro.runstore.provenance import provenance_args
+
+    meta: Dict[str, Any] = {"design": design, "benchmark": benchmark,
+                            "scale": scale, "duration": duration}
+    if seed is not None:
+        meta["seed"] = seed
+    meta.update(provenance_args())
+    return meta
+
+
+def _record(store: Any, spec: Dict[str, Any], result: Any) -> None:
+    """Best-effort run-store recording for one experiment."""
+    from repro.runstore.store import StoreError
+
+    try:
+        store.record_result(spec, result)
+    except StoreError as exc:
+        print(f"runstore: {exc}; run not recorded", file=sys.stderr)
 
 
 def make_workload(benchmark: str, scale: int, profile: ScaleProfile,
@@ -126,12 +164,17 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                         expand_reads: bool = False,
                         ftl: bool = False,
                         seed: int = 20110612,
-                        telemetry=None, faults=None) -> RunResult:
+                        telemetry=None, faults=None,
+                        store=None) -> RunResult:
     """One OLTP run: the building block of Figures 5–9.
 
     The paper runs TPC-C with checkpointing effectively off and λ=50%,
     TPC-E with 40-minute checkpoints and λ=1% — callers pass the analog
     (a ``checkpoint_interval`` scaled to the run duration).
+
+    ``store`` (a :class:`repro.runstore.RunStore`) records the finished
+    run with full provenance; recording failures warn and never fail
+    the experiment.
     """
     profile = profile or SCALE_PROFILES["default"]
     workload = make_workload(benchmark, scale, profile)
@@ -143,17 +186,29 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
     tracer = system.telemetry.tracer
     if tracer.enabled:
         tracer.instant("run_meta", "meta", "meta",
-                       {"design": design, "benchmark": benchmark,
-                        "scale": scale, "duration": duration})
+                       _run_meta_args(design, benchmark, scale, duration,
+                                      seed=seed))
     runner = WorkloadRunner(system, workload, nworkers=nworkers,
                             bucket_seconds=bucket_seconds, seed=seed)
-    return runner.run(duration)
+    result = runner.run(duration)
+    if store is not None:
+        _record(store, {
+            "kind": "oltp", "benchmark": benchmark, "scale": scale,
+            "design": design, "profile": profile_name(profile),
+            "duration": duration, "nworkers": nworkers,
+            "bucket_seconds": bucket_seconds, "seed": seed,
+            "dirty_threshold": dirty_threshold,
+            "checkpoint_interval": checkpoint_interval,
+            "expand_reads": expand_reads, "ftl": ftl,
+            "faulted": faults is not None,
+        }, result)
+    return result
 
 
 def run_tpch_experiment(sf: int, design: str,
                         profile: Optional[ScaleProfile] = None,
                         checkpoint_interval: Optional[float] = None,
-                        telemetry=None) -> TpchResult:
+                        telemetry=None, store=None) -> TpchResult:
     """One full TPC-H run (power + throughput): Figure 5(g–h), Table 3."""
     profile = profile or SCALE_PROFILES["default"]
     workload = make_workload("tpch", sf, profile)
@@ -163,12 +218,17 @@ def run_tpch_experiment(sf: int, design: str,
     tracer = system.telemetry.tracer
     if tracer.enabled:
         tracer.instant("run_meta", "meta", "meta",
-                       {"design": design, "benchmark": "tpch",
-                        "scale": sf, "duration": None})
+                       _run_meta_args(design, "tpch", sf, None))
     workload.setup(system)
     system.start_services()
     done = system.env.process(workload.full_run(system))
     result = system.env.run(done)
+    if store is not None:
+        _record(store, {
+            "kind": "tpch", "benchmark": "tpch", "scale": sf,
+            "design": design, "profile": profile_name(profile),
+            "checkpoint_interval": checkpoint_interval,
+        }, result)
     return result
 
 

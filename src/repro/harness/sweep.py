@@ -36,8 +36,12 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Callable, Dict, List, Optional, Set, TextIO,
-                    Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Set, TextIO, Tuple)
+
+if TYPE_CHECKING:  # recording is optional; avoid a module-load cycle
+    from repro.runstore.provenance import Provenance
+    from repro.runstore.store import RunStore
 
 from repro.core.ssd_manager import SsdStats
 from repro.storage.ftl import FtlStats
@@ -55,7 +59,9 @@ from repro.workloads.tpch import TpchResult
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump to invalidate every cached run without touching the sources.
-SNAPSHOT_VERSION = 1
+#: v2: snapshots carry fault/chaos outcome fields (``ssd.detached``) so
+#: replayed cache hits record complete run-store rows.
+SNAPSHOT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +216,9 @@ def _snapshot_oltp(result: RunResult) -> Dict[str, Any]:
             "dirty_frames": manager.dirty_frames,
             "used_frames": manager.used_frames,
             "dirty_fraction": manager.dirty_fraction,
+            # Fault outcomes must survive restore too: a replayed cache
+            # hit records the same run-store row as the live run did.
+            "detached": manager.detached,
             "stats": vars(manager.stats).copy(),
             "invalid_count": manager.table.invalid_count,
             "config": {
@@ -279,6 +288,7 @@ def restore(data: Dict[str, Any]) -> Any:
         dirty_frames=ssd["dirty_frames"],
         used_frames=ssd["used_frames"],
         dirty_fraction=ssd["dirty_fraction"],
+        detached=ssd.get("detached", False),
         stats=SsdStats(**ssd["stats"]),
         table=_Attrs(invalid_count=ssd["invalid_count"]),
         config=_Attrs(**ssd["config"]),
@@ -421,12 +431,48 @@ class SweepReport:
     results: Dict[RunSpec, Any] = field(default_factory=dict)
     cached: int = 0
     computed: int = 0
+    recorded: int = 0
     elapsed: float = 0.0
+
+
+class _Recorder:
+    """Best-effort run-store recording for a sweep.
+
+    All recording happens in the parent process (workers ship plain
+    snapshots back), so one sweep is one writer; the store's own
+    ``BEGIN IMMEDIATE`` guard covers *concurrent sweeps* sharing a
+    database.  The first failed write disables recording for the rest
+    of the sweep — a broken database never costs completed runs.
+    """
+
+    def __init__(self, store: Optional["RunStore"],
+                 say: Callable[[str], None]) -> None:
+        self.store = store
+        self.recorded = 0
+        self._say = say
+        self._provenance: Optional["Provenance"] = None
+
+    def record(self, spec: RunSpec, result: Any) -> None:
+        if self.store is None:
+            return
+        if self._provenance is None:
+            from repro.runstore.provenance import capture
+            self._provenance = capture()
+        from repro.runstore.store import StoreError
+        try:
+            self.store.record_result(spec.to_dict(), result,
+                                     provenance=self._provenance)
+            self.recorded += 1
+        except StoreError as exc:
+            self._say(f"runstore: {exc}; remaining runs will not be "
+                      f"recorded (JSON output is unaffected)")
+            self.store = None
 
 
 def run_sweep(specs: List[RunSpec], workers: int = 1,
               directory: Optional[Path] = None, use_cache: bool = True,
               progress: Optional[Callable[[str], None]] = None,
+              store: Optional["RunStore"] = None,
               ) -> SweepReport:
     """Run a grid of independent specs, in parallel, through the cache.
 
@@ -434,11 +480,16 @@ def run_sweep(specs: List[RunSpec], workers: int = 1,
     ``workers>1`` fans out over a spawn-context pool.  Each run is
     deterministic in isolation, so the schedule does not affect results.
     Duplicate specs are collapsed before dispatch.
+
+    ``store`` (a :class:`repro.runstore.RunStore`) records every run —
+    cache hits included, so replayed sweeps still build history — with
+    provenance captured once per sweep.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     say = progress if progress is not None else (lambda message: None)
     directory = (directory or cache_dir()) if use_cache else None
+    recorder = _Recorder(store, say)
 
     unique: List[RunSpec] = []
     seen: Set[RunSpec] = set()
@@ -471,12 +522,14 @@ def run_sweep(specs: List[RunSpec], workers: int = 1,
                 snap = cache_load(spec, directory)
                 if snap is not None:
                     report.results[spec] = restore(snap)
+                    recorder.record(spec, report.results[spec])
                     note(spec, True)
                     continue
             result = execute(spec)
             if directory is not None:
                 cache_store(spec, snapshot(result), directory)
             report.results[spec] = result
+            recorder.record(spec, result)
             note(spec, False)
     else:
         import multiprocessing
@@ -489,8 +542,10 @@ def run_sweep(specs: List[RunSpec], workers: int = 1,
                     _worker, payloads):
                 spec = RunSpec.from_dict(spec_dict)
                 report.results[spec] = restore(snap)
+                recorder.record(spec, report.results[spec])
                 note(spec, was_cached)
 
+    report.recorded = recorder.recorded
     report.elapsed = time.monotonic() - started
     return report
 

@@ -1,0 +1,253 @@
+"""Live HTML dashboard + JSON API over the run store (``repro serve``).
+
+Stdlib-only HTTP (no framework, no assets): every GET opens a fresh
+read-only view of the SQLite store, so the page always shows the latest
+recorded runs — leave it open while a sweep records and refresh.
+
+Endpoints:
+
+``GET /``
+    The dashboard: per-metric SVG trajectory charts (throughput,
+    p50/p95/p99 latency decomposition, WAF, wear) with one polyline per
+    design, x = run id across commits, plus the recent-runs table.
+    Accepts ``benchmark`` / ``design`` / ``scale`` / ``limit`` query
+    filters.
+``GET /api/runs``
+    Recent run rows (with metrics) as JSON; same filters.
+``GET /api/trajectory?metric=NAME``
+    One metric's per-design series as JSON.
+``GET /healthz``
+    Liveness probe: 200 and the schema version.
+
+Charts are rendered by :func:`repro.telemetry.htmlreport.svg_chart` —
+the same machinery as ``repro analyze --html``, pointed at cross-commit
+series instead of within-run time series.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.runstore.schema import SCHEMA_VERSION
+from repro.runstore.store import RunStore, StoreError
+from repro.telemetry.htmlreport import (REPORT_CSS, html_table, legend,
+                                        svg_chart)
+
+#: The trajectory charts: (metric name, title, y-axis value format).
+TRAJECTORIES = (
+    ("value", "Throughput (tpmC / tps / QphH)", "{:,.0f}"),
+    ("latency_p50", "p50 latency (s)", "{:.3f}"),
+    ("latency_p95", "p95 latency (s)", "{:.3f}"),
+    ("latency_p99", "p99 latency (s)", "{:.3f}"),
+    ("waf", "Write amplification (device WAF)", "{:.2f}"),
+    ("wear_spread", "Wear spread (max-min erase counts)", "{:,.0f}"),
+)
+
+#: Columns of the recent-runs table (run column, metric, format).
+RUN_METRIC_COLUMNS = (
+    ("value", "{:,.1f}"),
+    ("latency_p99", "{:.3f}"),
+    ("waf", "{:.3f}"),
+)
+
+
+def _short(commit: Optional[str]) -> str:
+    return commit[:10] if commit else "-"
+
+
+def render_dashboard(store: RunStore,
+                     benchmark: Optional[str] = None,
+                     design: Optional[str] = None,
+                     scale: Optional[int] = None,
+                     limit: int = 200) -> str:
+    """The dashboard page as one self-contained HTML document."""
+    filters: Dict[str, Any] = {}
+    if benchmark is not None:
+        filters["benchmark"] = benchmark
+    if design is not None:
+        filters["design"] = design
+    if scale is not None:
+        filters["scale"] = scale
+
+    commits = store.commits(**filters)
+    runs = store.list_runs(limit=limit, **filters)
+
+    body: List[str] = [
+        "<h1>repro run store</h1>",
+        f"<p class='meta'>{html.escape(str(store.path))} · "
+        f"schema v{SCHEMA_VERSION} · {len(runs)} runs shown · "
+        f"{len(commits)} commits"
+        + (f" · benchmark {html.escape(benchmark)}" if benchmark else "")
+        + (f" · scale {scale}" if scale is not None else "")
+        + "</p>",
+    ]
+
+    body.append("<h2>Trajectories</h2>")
+    if len(commits) < 2:
+        body.append("<p class='note'>Single-commit history — record "
+                    "runs from more commits to see trends.</p>")
+    charted = False
+    for metric, title, fmt in TRAJECTORIES:
+        series = store.trajectory(metric, **filters)
+        per_design = {
+            dsgn: [(float(point["run_id"]), float(point["value"]))
+                   for point in points]
+            for dsgn, points in sorted(series.items())
+        }
+        if not any(per_design.values()):
+            continue
+        charted = True
+        body.append("<figure>")
+        body.append(f"<figcaption>{html.escape(title)} "
+                    f"<span class='note'>({html.escape(metric)} by run "
+                    f"id)</span></figcaption>")
+        body.append(legend(list(per_design)))
+        body.append(svg_chart(per_design, fmt, x_fmt="#{:.0f}"))
+        body.append("</figure>")
+    if not charted:
+        body.append("<p class='note'>(no recorded metrics yet — run "
+                    "<code>repro sweep</code> or <code>repro oltp</code>"
+                    ")</p>")
+
+    body.append("<h2>Recent runs</h2>")
+    if runs:
+        rows = []
+        for run in runs[:50]:
+            metrics = store.metrics_for(run["id"])
+            row = [
+                f"#{run['id']}",
+                run["kind"],
+                f"{run['benchmark']}/{run['scale']}/{run['design']}",
+                run["profile"],
+                _short(run["git_commit"])
+                + ("*" if run["git_dirty"] else ""),
+                run["status"],
+            ]
+            for name, fmt in RUN_METRIC_COLUMNS:
+                value = metrics.get(name)
+                row.append(fmt.format(value) if value is not None else "-")
+            rows.append(row)
+        body.append(html_table(
+            ["run", "kind", "grid cell", "profile", "commit", "status",
+             "value", "p99 (s)", "waf"],
+            rows, caption="newest first; * marks a dirty working tree"))
+    else:
+        body.append("<p class='note'>(no runs recorded)</p>")
+
+    return (
+        "<!doctype html><html lang='en'><head><meta charset='utf-8'>"
+        "<title>repro run store</title>"
+        "<meta name='viewport' content='width=device-width, "
+        "initial-scale=1'>"
+        f"<style>{REPORT_CSS}</style></head><body>"
+        + "".join(body) + "</body></html>"
+    )
+
+
+class DashboardHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one database path (set by the server)."""
+
+    #: Set by :func:`make_server`.
+    database: str = ""
+    #: Quiet by default; the CLI flips this for interactive serving.
+    verbose: bool = False
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _send(self, status: int, content_type: str, payload: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_html(self, markup: str, status: int = 200) -> None:
+        self._send(status, "text/html; charset=utf-8", markup.encode())
+
+    def _send_json(self, doc: Any, status: int = 200) -> None:
+        self._send(status, "application/json",
+                   json.dumps(doc, indent=2, sort_keys=True).encode())
+
+    def _query(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        params = {key: values[0]
+                  for key, values in parse_qs(parsed.query).items()}
+        return parsed.path, params
+
+    @staticmethod
+    def _int(params: Dict[str, str], key: str,
+             default: Optional[int] = None) -> Optional[int]:
+        raw = params.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            return default
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path, params = self._query()
+        try:
+            if path == "/healthz":
+                self._send_json({"status": "ok",
+                                 "schema_version": SCHEMA_VERSION,
+                                 "database": self.database})
+                return
+            # Each request opens its own connection: handler threads
+            # must not share one sqlite3 connection, and a fresh open
+            # always sees the latest recorded runs.
+            with RunStore(self.database) as store:
+                if path == "/":
+                    self._send_html(render_dashboard(
+                        store,
+                        benchmark=params.get("benchmark"),
+                        design=params.get("design"),
+                        scale=self._int(params, "scale"),
+                        limit=self._int(params, "limit", 200) or 200))
+                elif path == "/api/runs":
+                    runs = store.list_runs(
+                        limit=self._int(params, "limit", 50) or 50,
+                        benchmark=params.get("benchmark"),
+                        design=params.get("design"),
+                        scale=self._int(params, "scale"))
+                    for run in runs:
+                        run["metrics"] = store.metrics_for(run["id"])
+                    self._send_json({"runs": runs})
+                elif path == "/api/trajectory":
+                    metric = params.get("metric", "value")
+                    self._send_json({
+                        "metric": metric,
+                        "series": store.trajectory(
+                            metric,
+                            benchmark=params.get("benchmark"),
+                            design=params.get("design"),
+                            scale=self._int(params, "scale")),
+                    })
+                else:
+                    self._send_json({"error": f"no such path: {path}"},
+                                    status=404)
+        except StoreError as exc:
+            self._send_json({"error": str(exc)}, status=503)
+
+
+def make_server(database: str, host: str = "127.0.0.1", port: int = 8642,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-run HTTP server over one run database.
+
+    The store is opened once up front to fail fast on a broken file;
+    after that every request reopens it (see :class:`DashboardHandler`).
+    """
+    RunStore(database).close()
+    handler = type("BoundDashboardHandler", (DashboardHandler,),
+                   {"database": database, "verbose": verbose})
+    return ThreadingHTTPServer((host, port), handler)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.registry import percentile_of
 from repro.telemetry.tracer import TRUNCATION_EVENT
@@ -222,6 +222,11 @@ class DesignAnalysis:
     #: plus the derived ``waf`` and the count of traced GC bursts.
     #: Empty when the run used the black-box SSD timing.
     ftl: Dict[str, float] = field(default_factory=dict)
+    #: Provenance stamped into the trace's ``run_meta`` instant
+    #: (``git_commit``/``git_branch``/``git_dirty``/``source_hash``/
+    #: ``seed``) — which code produced this trace, same answer the run
+    #: store gives for recorded runs.  Empty for pre-provenance traces.
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def truncated(self) -> bool:
@@ -342,6 +347,11 @@ def analyze_trace(path: str) -> DesignAnalysis:
             analysis.benchmark = args.get("benchmark", analysis.benchmark)
             analysis.scale = args.get("scale", analysis.scale)
             analysis.duration = args.get("duration", analysis.duration)
+            analysis.provenance = {
+                key: args[key]
+                for key in ("git_commit", "git_branch", "git_dirty",
+                            "source_hash", "seed")
+                if args.get(key) is not None}
             continue
         if name == TRUNCATION_EVENT:
             analysis.dropped = int(args.get("dropped", 0))

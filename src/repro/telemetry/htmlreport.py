@@ -33,7 +33,7 @@ CHARTS = (
     ("ssd_pending", "SSD queue depth", "pending I/Os", "{:,.0f}"),
 )
 
-_CSS = """
+REPORT_CSS = """
 :root {
   --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
   --grid: #e1e0d9; --baseline: #c3c2b7;
@@ -82,9 +82,14 @@ def _downsample(series: List[Tuple[float, float]],
     return downsample_series(series, max_rows=max_points)
 
 
-def _svg_chart(per_design: Dict[str, List[Tuple[float, float]]],
-               value_fmt: str) -> str:
-    """One SVG line chart: time on x, one polyline per design."""
+def svg_chart(per_design: Dict[str, List[Tuple[float, float]]],
+              value_fmt: str, x_fmt: str = "{:.0f}s") -> str:
+    """One SVG line chart: x (time by default), one polyline per series.
+
+    Public because the run-store dashboard (:mod:`repro.runstore`)
+    renders its cross-commit trajectories with the same chart — pass
+    ``x_fmt`` to relabel the x axis (e.g. ``"#{:.0f}"`` for run ids).
+    """
     width, height = 640, 240
     left, right, top, bottom = 56, 12, 10, 26
     plot_w, plot_h = width - left - right, height - top - bottom
@@ -120,12 +125,13 @@ def _svg_chart(per_design: Dict[str, List[Tuple[float, float]]],
         label = html.escape(value_fmt.format(value))
         parts.append(f'<text x="{left - 6}" y="{y + 3.5:.1f}" '
                      f'text-anchor="end">{label}</text>')
-    # X tick labels (virtual seconds).
+    # X tick labels (virtual seconds by default).
     for i in range(5):
         t = x0 + (x1 - x0) * i / 4
         x = sx(t)
+        label = html.escape(x_fmt.format(t))
         parts.append(f'<text x="{x:.1f}" y="{height - 8}" '
-                     f'text-anchor="middle">{t:.0f}s</text>')
+                     f'text-anchor="middle">{label}</text>')
     for slot, (design, series) in enumerate(points.items()):
         path = " ".join(f"{sx(t):.1f},{sy(v):.1f}" for t, v in series)
         title = html.escape(f"{design}: {len(per_design[design])} samples")
@@ -135,7 +141,7 @@ def _svg_chart(per_design: Dict[str, List[Tuple[float, float]]],
     return "".join(parts)
 
 
-def _legend(designs: Sequence[str]) -> str:
+def legend(designs: Sequence[str]) -> str:
     if len(designs) < 2:
         return ""
     chips = "".join(
@@ -157,14 +163,14 @@ def _charts_section(analyses: Sequence[DesignAnalysis]) -> List[str]:
         out.append(f"<figcaption>{html.escape(title)} "
                    f"<span class='note'>({html.escape(ylabel)})</span>"
                    f"</figcaption>")
-        out.append(_legend(designs))
-        out.append(_svg_chart(per_design, fmt))
+        out.append(legend(designs))
+        out.append(svg_chart(per_design, fmt))
         out.append("</figure>")
     return out
 
 
-def _table(headers: Sequence[str], rows: Sequence[Sequence[str]],
-           caption: Optional[str] = None) -> str:
+def html_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+               caption: Optional[str] = None) -> str:
     parts = ["<table>"]
     if caption:
         parts.append(f"<caption>{html.escape(caption)}</caption>")
@@ -189,7 +195,7 @@ def _latency_table(analyses: Sequence[DesignAnalysis]) -> str:
             f"{summary['p95'] * 1e3:.2f}",
             f"{summary['p99'] * 1e3:.2f}",
         ])
-    return _table(["design", "txns", "mean", "p50", "p95", "p99"], rows,
+    return html_table(["design", "txns", "mean", "p50", "p95", "p99"], rows,
                   caption="Transaction latency (ms)")
 
 
@@ -210,7 +216,7 @@ def _attribution_tables(analyses: Sequence[DesignAnalysis],
                 att.dominant,
                 breakdown or "-",
             ])
-        out.append(_table(
+        out.append(html_table(
             ["tail", "latency (ms)", "txns", "coverage", "dominant",
              "breakdown"],
             rows, caption=f"{analysis.design} — tail-latency attribution"))
@@ -264,14 +270,14 @@ def render_report(analyses: Sequence[DesignAnalysis], workload: str,
             if origin in a.background_io else "-"
             for origin in origins
         ] for a in analyses]
-        body.append(_table(["design"] + origins, rows,
+        body.append(html_table(["design"] + origins, rows,
                            caption="Share of total device-busy time"))
 
     return (
         "<!doctype html><html lang='en'><head><meta charset='utf-8'>"
         f"<title>{html.escape(title)}</title>"
         "<meta name='viewport' content='width=device-width, initial-scale=1'>"
-        f"<style>{_CSS}</style></head><body>"
+        f"<style>{REPORT_CSS}</style></head><body>"
         + "".join(body) + "</body></html>"
     )
 

@@ -11,6 +11,33 @@ from repro.engine import BufferPool, Checkpointer, Database, DiskManager, WriteA
 from repro.harness.system import System, SystemConfig
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _session_runstore(tmp_path_factory):
+    """Session-wide backstop for the run-store default path.
+
+    Module- and session-scoped fixtures are set up *before* the
+    function-scoped isolation fixture below, so one that invokes the
+    CLI (e.g. a shared traced run) would otherwise record into
+    ``.repro-runs.db`` in the working tree.
+    """
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_RUNSTORE",
+                   str(tmp_path_factory.mktemp("runstore") / "runs.db"))
+    yield
+    patcher.undo()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runstore(tmp_path, monkeypatch):
+    """Route default run-store recording into the test's tmp dir.
+
+    CLI commands record runs into ``.repro-runs.db`` by default; tests
+    that invoke them must not leave databases in the working tree.
+    Tests that care about the store pass an explicit path anyway.
+    """
+    monkeypatch.setenv("REPRO_RUNSTORE", str(tmp_path / "runs.db"))
+
+
 @pytest.fixture
 def env():
     return Environment()

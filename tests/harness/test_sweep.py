@@ -173,3 +173,73 @@ class TestSweep:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             run_sweep([], workers=0)
+
+
+class TestSnapshotFaultFields:
+    def test_detached_defaults_false_and_round_trips(self, live_result,
+                                                     tmp_path):
+        snap = snapshot(live_result)
+        assert snap["ssd"]["detached"] is False
+        cache_store(SPEC, snap, tmp_path)
+        restored = restore(cache_load(SPEC, tmp_path))
+        assert restored.system.ssd_manager.detached is False
+
+    def test_detached_true_survives_restore(self, live_result, tmp_path):
+        snap = snapshot(live_result)
+        snap["ssd"]["detached"] = True
+        restored = restore(snap)
+        assert restored.system.ssd_manager.detached is True
+
+    def test_old_snapshot_without_field_restores(self, live_result):
+        """Pre-v2 snapshots (no ``detached`` key) must still restore —
+        the version bump invalidates caches, but restore stays lenient."""
+        snap = snapshot(live_result)
+        del snap["ssd"]["detached"]
+        restored = restore(snap)
+        assert restored.system.ssd_manager.detached is False
+
+
+class TestSweepRecording:
+    def specs(self):
+        return [
+            RunSpec(kind="oltp", benchmark="tpcc", scale=10, design=design,
+                    profile="tiny", duration=2.0, nworkers=2)
+            for design in ("noSSD", "LC")
+        ]
+
+    def test_live_and_cached_runs_record_alike(self, tmp_path):
+        from repro.runstore.store import RunStore
+
+        with RunStore(tmp_path / "runs.db") as store:
+            first = run_sweep(self.specs(), workers=1, directory=tmp_path,
+                              store=store)
+            assert first.recorded == 2 and first.computed == 2
+            second = run_sweep(self.specs(), workers=1,
+                               directory=tmp_path, store=store)
+            assert second.recorded == 2 and second.cached == 2
+
+            runs = store.list_runs()
+            assert len(runs) == 4
+            # The replayed cache hit recorded the same metrics row as
+            # the live run (modulo the run id / timestamp).
+            by_design = {}
+            for run in runs:
+                by_design.setdefault(run["design"], []).append(
+                    store.metrics_for(run["id"]))
+            for design, metric_rows in by_design.items():
+                assert metric_rows[0] == metric_rows[1], design
+
+    def test_recording_failure_does_not_fail_the_sweep(self, tmp_path):
+        class ExplodingStore:
+            path = "exploding.db"
+
+            def record_result(self, spec, result, provenance=None):
+                from repro.runstore.store import StoreError
+                raise StoreError("disk on fire")
+
+        lines = []
+        report = run_sweep(self.specs(), workers=1, directory=tmp_path,
+                           store=ExplodingStore(), progress=lines.append)
+        assert report.recorded == 0
+        assert report.computed == 2  # every run still completed
+        assert any("disk on fire" in line for line in lines)
