@@ -24,7 +24,7 @@ import os
 import time
 from pathlib import Path
 
-from repro.sim import Environment
+from repro.sim import Environment, WheelEnvironment
 
 from benchmarks.common import FAST, OLTP_DURATION, PROFILE_NAME
 from repro.harness.sweep import RunSpec, execute
@@ -45,9 +45,9 @@ BASELINE_EVENTS_PER_SEC = {
 }
 
 
-def _timeout_chain(n: int) -> float:
+def _timeout_chain(n: int, envcls=Environment) -> float:
     """One process yielding ``n`` back-to-back timeouts; returns ev/s."""
-    env = Environment()
+    env = envcls()
 
     def proc():
         t = env.timeout
@@ -60,9 +60,9 @@ def _timeout_chain(n: int) -> float:
     return n / (time.perf_counter() - start)
 
 
-def _procs50(per_proc: int) -> float:
+def _procs50(per_proc: int, envcls=Environment) -> float:
     """50 interleaved processes, ``per_proc`` timeouts each; ev/s."""
-    env = Environment()
+    env = envcls()
 
     def proc():
         t = env.timeout
@@ -101,6 +101,10 @@ def measure(fast: bool = FAST) -> dict:
         "kernel": {
             "timeout_chain_events_per_sec": round(_timeout_chain(chain_n)),
             "procs50_events_per_sec": round(_procs50(per_proc)),
+            "wheel_timeout_chain_events_per_sec": round(
+                _timeout_chain(chain_n, WheelEnvironment)),
+            "wheel_procs50_events_per_sec": round(
+                _procs50(per_proc, WheelEnvironment)),
         },
         "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
         "fig5_cell": _fig5_cell(),

@@ -35,9 +35,11 @@ from repro.harness.experiments import (
     SCALE_PROFILES,
     run_oltp_experiment,
     run_tpch_experiment,
+    run_traffic_experiment,
     speedup_over_nossd,
 )
 from repro.harness.report import format_metrics, format_table
+from repro.sim import KERNELS
 from repro.telemetry import Telemetry
 
 DESIGN_SUMMARIES = {
@@ -181,7 +183,8 @@ def cmd_oltp(args) -> int:
             profile=profile, nworkers=args.workers,
             dirty_threshold=args.dirty_threshold,
             checkpoint_interval=args.checkpoint_interval,
-            ftl=args.ftl, telemetry=telemetry, faults=faults,
+            ftl=args.ftl, kernel=args.kernel,
+            telemetry=telemetry, faults=faults,
             store=store)
         print(f"ran {design}", file=sys.stderr)
         system = results[design].system
@@ -224,6 +227,82 @@ def cmd_oltp(args) -> int:
         f"({args.duration:.0f} virtual s, profile={args.profile})",
         ["design", metric, "speedup", "SSD hit", "SSD used", "SSD dirty"],
         rows))
+    if store is not None:
+        store.close()
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    """Run an open-loop multi-tenant experiment across designs."""
+    from repro.workloads.traffic import parse_tenants
+
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = [d for d in designs if d not in DESIGNS]
+    if unknown:
+        print(f"unknown designs: {unknown}; try `python -m repro designs`",
+              file=sys.stderr)
+        return 2
+    error = _validate_trace(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        tenants = parse_tenants(args.tenants)
+    except ValueError as exc:
+        print(f"--tenants: {exc}", file=sys.stderr)
+        return 2
+    profile = SCALE_PROFILES[args.profile]
+    store = _open_recording_store(args)
+    results = {}
+    for design in designs:
+        telemetry = _make_telemetry(args)
+        results[design] = run_traffic_experiment(
+            args.benchmark, args.scale, design, tenants,
+            duration=args.duration, profile=profile,
+            nworkers=args.workers, queue_limit=args.queue_limit,
+            dirty_threshold=args.dirty_threshold,
+            checkpoint_interval=args.checkpoint_interval,
+            partitions=args.partitions, ftl=args.ftl,
+            kernel=args.kernel, seed=args.seed,
+            telemetry=telemetry, store=store)
+        print(f"ran {design}", file=sys.stderr)
+        _emit_telemetry(args, design, telemetry, len(designs) > 1)
+    first = next(iter(results.values()))
+    users = first.logical_users
+    rows = []
+    for design in designs:
+        result = results[design]
+        rows.append([
+            design,
+            f"{result.steady_state_throughput():,.1f}",
+            f"{result.offered:,}",
+            f"{result.shed_fraction:.1%}",
+            f"{result.queue_wait_percentile(99) * 1e3:,.2f}",
+            f"{result.latencies.percentile(99) * 1e3:,.2f}",
+        ])
+    print(format_table(
+        f"open-loop {args.benchmark.upper()} scale={args.scale} "
+        f"({users:,.0f} logical users, {args.duration:.0f} virtual s, "
+        f"workers={args.workers}, kernel={args.kernel})",
+        ["design", first.metric_name, "offered", "shed",
+         "qwait p99 (ms)", "p99 (ms)"], rows))
+    tenant_rows = []
+    for design in designs:
+        result = results[design]
+        for name, stats in result.tenants.items():
+            tenant_rows.append([
+                design, name,
+                f"{stats.offered:,}",
+                f"{stats.shed_fraction:.1%}",
+                f"{stats.throughput(result.duration):,.1f}",
+                f"{stats.queue_waits.percentile(99) * 1e3:,.2f}",
+                f"{stats.latencies.percentile(99) * 1e3:,.2f}",
+            ])
+    print()
+    print(format_table(
+        "per-tenant isolation",
+        ["design", "tenant", "offered", "shed", "txn/s",
+         "qwait p99 (ms)", "p99 (ms)"], tenant_rows))
     if store is not None:
         store.close()
     return 0
@@ -378,6 +457,7 @@ def cmd_analyze(args) -> int:
         format_faults_table,
         format_ftl_table,
         format_interference_table,
+        format_tenant_table,
         validate_bench,
     )
 
@@ -413,6 +493,9 @@ def cmd_analyze(args) -> int:
 
     print(format_attribution_table(analyses, quantiles=quantiles,
                                    txn_type=args.txn_type))
+    if any(a.tenants() for a in analyses):
+        print()
+        print(format_tenant_table(analyses))
     if any(a.background_io for a in analyses):
         print()
         print(format_interference_table(analyses))
@@ -496,9 +579,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_oltp.add_argument("--ftl", action="store_true",
                         help="model the SSD's internals (erase blocks, GC, "
                              "write amplification; DESIGN.md §10)")
+    p_oltp.add_argument("--kernel", choices=KERNELS, default="heap",
+                        help="event-queue implementation (default: heap)")
     _add_common(p_oltp)
     _add_db_flags(p_oltp)
     p_oltp.set_defaults(func=cmd_oltp)
+
+    p_traffic = sub.add_parser(
+        "traffic", help="open-loop multi-tenant run (arrival-rate driven)")
+    p_traffic.add_argument("--benchmark", choices=("tpcc", "tpce"),
+                           default="tpcc")
+    p_traffic.add_argument("--scale", type=int, default=1_000,
+                           help="warehouses (tpcc) or customers/1000 (tpce)")
+    p_traffic.add_argument("--duration", type=float, default=30.0,
+                           help="virtual seconds")
+    p_traffic.add_argument(
+        "--tenants",
+        default="all=poisson:users=1000000:think=100",
+        help="';'-separated tenant specs: name=kind:rate=R|users=U:think=T"
+             "[:theta=Z] with kind in poisson|bursty|diurnal "
+             "(default: one tenant of 1M logical users)")
+    p_traffic.add_argument("--workers", type=int, default=64,
+                           help="simulated worker pool draining the queue")
+    p_traffic.add_argument("--queue-limit", type=int, default=10_000,
+                           help="admission queue bound; arrivals beyond it "
+                                "are shed (default 10000)")
+    p_traffic.add_argument("--partitions", type=int, default=None,
+                           help="SSD buffer-table partition count N "
+                                "(§3.3.4) — the tenant-isolation knob")
+    p_traffic.add_argument("--dirty-threshold", type=float, default=None,
+                           help="LC lambda (default: per-benchmark value)")
+    p_traffic.add_argument("--checkpoint-interval", type=float, default=None,
+                           help="virtual seconds between checkpoints")
+    p_traffic.add_argument("--ftl", action="store_true",
+                           help="model the SSD's internals")
+    p_traffic.add_argument("--kernel", choices=KERNELS, default="wheel",
+                           help="event-queue implementation (default: wheel "
+                                "— built for open-loop timer volume)")
+    p_traffic.add_argument("--seed", type=int, default=20110612)
+    _add_common(p_traffic)
+    _add_db_flags(p_traffic)
+    p_traffic.set_defaults(func=cmd_traffic)
 
     p_chaos = sub.add_parser(
         "chaos", help="crash-point sweep: crash, recover, verify")

@@ -3,8 +3,9 @@ per-table/figure experiment registry that regenerates the paper's
 evaluation section."""
 
 from repro.harness.system import System, SystemConfig
-from repro.harness.runner import RunResult, WorkloadRunner
-from repro.harness.metrics import Sampler
+from repro.harness.runner import (OpenLoopRunner, RunResult,
+                                 WorkloadRunner)
+from repro.harness.metrics import Sampler, TenantStats
 from repro.harness.crashpoints import (
     CrashPointOutcome,
     CrashSweepConfig,
@@ -17,6 +18,7 @@ from repro.harness.experiments import (
     ScaleProfile,
     run_oltp_experiment,
     run_tpch_experiment,
+    run_traffic_experiment,
 )
 from repro.harness.report import format_series, format_table
 
@@ -24,6 +26,7 @@ __all__ = [
     "CrashPointOutcome",
     "CrashSweepConfig",
     "CrashSweepResult",
+    "OpenLoopRunner",
     "RunResult",
     "crash_point_sweep",
     "format_sweep_table",
@@ -31,10 +34,12 @@ __all__ = [
     "Sampler",
     "ScaleProfile",
     "System",
+    "TenantStats",
     "SystemConfig",
     "WorkloadRunner",
     "format_series",
     "format_table",
     "run_oltp_experiment",
     "run_tpch_experiment",
+    "run_traffic_experiment",
 ]

@@ -21,11 +21,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.core import SsdDesignConfig
-from repro.harness.runner import RunResult, WorkloadRunner
+from repro.harness.runner import OpenLoopRunner, RunResult, WorkloadRunner
 from repro.harness.system import System, SystemConfig
 from repro.workloads.tpcc import TpccWorkload
 from repro.workloads.tpce import TpceWorkload
 from repro.workloads.tpch import TpchResult, TpchWorkload
+from repro.workloads.traffic import parse_tenants
 
 
 @dataclass(frozen=True)
@@ -128,19 +129,28 @@ def make_system(benchmark: str, workload, design: str,
                 warm_restart: bool = False,
                 expand_reads: bool = False,
                 ftl: bool = False,
+                partitions: Optional[int] = None,
+                kernel: str = "heap",
                 telemetry=None, faults=None) -> System:
     """Assemble a system sized for ``workload`` running ``design``.
 
     ``ftl=True`` models the SSD's internals (erase blocks, GC, WAF
     accounting; DESIGN.md §10) instead of the flat Table 1 timing.
+    ``partitions`` overrides the SSD buffer table's partition count N
+    (§3.3.4) — the isolation knob the multi-tenant experiments sweep.
+    ``kernel`` picks the event-queue implementation ("heap"/"wheel").
     """
     ssd_frames = 0 if design == "noSSD" else profile.ssd_frames
+    ssd_kwargs: Dict[str, Any] = {}
+    if partitions is not None:
+        ssd_kwargs["partitions"] = partitions
     ssd = SsdDesignConfig(
         ssd_frames=ssd_frames,
         dirty_threshold=(dirty_threshold if dirty_threshold is not None
                          else PAPER_LAMBDA.get(benchmark, 0.5)),
         warm_restart=warm_restart,
         ftl_enabled=ftl,
+        **ssd_kwargs,
     )
     config = SystemConfig(
         design=design,
@@ -150,6 +160,7 @@ def make_system(benchmark: str, workload, design: str,
         checkpoint_interval=checkpoint_interval,
         expand_reads=expand_reads,
         slack_pages=max(256, workload.db_pages() // 20),
+        kernel=kernel,
     )
     return System(config, telemetry=telemetry, faults=faults)
 
@@ -163,6 +174,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                         bucket_seconds: float = 2.0,
                         expand_reads: bool = False,
                         ftl: bool = False,
+                        kernel: str = "heap",
                         seed: int = 20110612,
                         telemetry=None, faults=None,
                         store=None) -> RunResult:
@@ -182,6 +194,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                          dirty_threshold=dirty_threshold,
                          checkpoint_interval=checkpoint_interval,
                          expand_reads=expand_reads, ftl=ftl,
+                         kernel=kernel,
                          telemetry=telemetry, faults=faults)
     tracer = system.telemetry.tracer
     if tracer.enabled:
@@ -200,6 +213,66 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
             "dirty_threshold": dirty_threshold,
             "checkpoint_interval": checkpoint_interval,
             "expand_reads": expand_reads, "ftl": ftl,
+            "kernel": kernel,
+            "faulted": faults is not None,
+        }, result)
+    return result
+
+
+def run_traffic_experiment(benchmark: str, scale: int, design: str,
+                           tenants, duration: float = 60.0,
+                           profile: Optional[ScaleProfile] = None,
+                           nworkers: int = 64,
+                           queue_limit: int = 10_000,
+                           bucket_seconds: float = 2.0,
+                           dirty_threshold: Optional[float] = None,
+                           checkpoint_interval: Optional[float] = None,
+                           partitions: Optional[int] = None,
+                           ftl: bool = False,
+                           kernel: str = "heap",
+                           seed: int = 20110612,
+                           telemetry=None, faults=None,
+                           store=None) -> RunResult:
+    """One open-loop multi-tenant run (ROADMAP item 1).
+
+    ``tenants`` is either a parsed list of
+    :class:`~repro.workloads.traffic.TenantSpec` or the CLI grammar
+    string (``name=poisson:rate=...:theta=...;...``).  Offered load is
+    set by the tenants' arrival rates — a run representing a million
+    logical users still uses ``nworkers`` simulated workers and at most
+    ``queue_limit`` queued arrivals.  ``partitions`` sweeps the SSD
+    partition knob N the isolation experiments measure against.
+    """
+    profile = profile or SCALE_PROFILES["default"]
+    if isinstance(tenants, str):
+        tenants = parse_tenants(tenants)
+    workload = make_workload(benchmark, scale, profile)
+    system = make_system(benchmark, workload, design, profile,
+                         dirty_threshold=dirty_threshold,
+                         checkpoint_interval=checkpoint_interval,
+                         ftl=ftl, partitions=partitions, kernel=kernel,
+                         telemetry=telemetry, faults=faults)
+    tracer = system.telemetry.tracer
+    if tracer.enabled:
+        meta = _run_meta_args(design, benchmark, scale, duration, seed=seed)
+        meta["tenants"] = [spec.name for spec in tenants]
+        tracer.instant("run_meta", "meta", "meta", meta)
+    runner = OpenLoopRunner(system, workload, tenants,
+                            nworkers=nworkers, queue_limit=queue_limit,
+                            bucket_seconds=bucket_seconds, seed=seed)
+    result = runner.run(duration)
+    if store is not None:
+        _record(store, {
+            "kind": "traffic", "benchmark": benchmark, "scale": scale,
+            "design": design, "profile": profile_name(profile),
+            "duration": duration, "nworkers": nworkers,
+            "queue_limit": queue_limit,
+            "bucket_seconds": bucket_seconds, "seed": seed,
+            "dirty_threshold": dirty_threshold,
+            "checkpoint_interval": checkpoint_interval,
+            "partitions": partitions, "ftl": ftl, "kernel": kernel,
+            "tenants": ";".join(spec.name for spec in tenants),
+            "logical_users": result.logical_users,
             "faulted": faults is not None,
         }, result)
     return result

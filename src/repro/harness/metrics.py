@@ -12,7 +12,7 @@ so the occupancy/queue-depth series show up in a trace viewer), and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.telemetry import NULL_TELEMETRY, percentile_of
@@ -159,6 +159,43 @@ class Sampler:
             if sample.ssd_dirty > threshold_frames:
                 return sample.time
         return float("inf")
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant accounting for one open-loop traffic run.
+
+    ``latencies`` records *sojourn* time (queue wait + service) per
+    transaction type — the latency a logical user of that tenant sees —
+    while ``queue_waits`` isolates the admission-queue component so
+    overload shows up separately from slow service.
+    """
+
+    name: str
+    #: Arrivals the tenant's generator produced.
+    offered: int = 0
+    #: Arrivals dropped because the admission queue was full.
+    shed: int = 0
+    #: Transactions finished within the measurement window.
+    completed: int = 0
+    latencies: "LatencyTracker" = field(
+        default_factory=lambda: LatencyTracker())
+    queue_waits: "LatencyTracker" = field(
+        default_factory=lambda: LatencyTracker())
+
+    @property
+    def admitted(self) -> int:
+        """Arrivals that made it into the queue."""
+        return self.offered - self.shed
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered arrivals that were shed (0 when idle)."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    def throughput(self, duration: float) -> float:
+        """Completed transactions per second over ``duration``."""
+        return self.completed / duration if duration > 0 else 0.0
 
 
 class LatencyTracker:

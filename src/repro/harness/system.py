@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.sim import Environment
+from repro.sim import KERNELS, Environment, make_environment
 from repro.storage import HddArray, Ssd
 from repro.storage.ftl import FtlConfig
 from repro.core import DESIGNS, SsdDesignConfig
@@ -46,6 +46,9 @@ class SystemConfig:
     expand_reads: bool = False
     #: Extra page headroom for run-time allocations (B+-tree splits etc.).
     slack_pages: int = 512
+    #: Event-queue implementation: "heap" (default) or "wheel" (the
+    #: hierarchical timer wheel — same event order, O(1) timer inserts).
+    kernel: str = "heap"
 
     def __post_init__(self) -> None:
         if self.design not in DESIGNS:
@@ -54,6 +57,9 @@ class SystemConfig:
         if self.checkpoint_policy not in ("sharp", "fuzzy"):
             raise ValueError(
                 f"unknown checkpoint policy {self.checkpoint_policy!r}")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNELS}")
 
 
 class System:
@@ -64,8 +70,10 @@ class System:
                  telemetry: Optional[Telemetry] = None,
                  faults=None):
         self.config = config
-        self.env = env or Environment()
+        self.env = env or make_environment(config.kernel)
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: Per-system transaction-id sequence (see :meth:`next_txn_id`).
+        self._txn_seq = 0
         self.telemetry.set_clock(lambda: self.env.now)
         total_pages = config.db_pages + config.slack_pages
         self.data_device = HddArray(self.env, ndisks=config.data_disks)
@@ -119,6 +127,17 @@ class System:
     def design(self) -> str:
         """Name of the SSD design this system runs."""
         return self.ssd_manager.name
+
+    def next_txn_id(self) -> int:
+        """Allocate the next transaction id.
+
+        System-scoped (not process-global) so a second run in the same
+        process starts from 1 again and its trace is byte-identical to a
+        fresh process — the determinism contract the trace-md5 tests
+        assert.
+        """
+        self._txn_seq += 1
+        return self._txn_seq
 
     def start_services(self) -> None:
         """Start background services (periodic checkpoints)."""

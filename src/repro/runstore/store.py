@@ -495,6 +495,32 @@ def metrics_from_result(result: Any) -> Tuple[str, Dict[str, float]]:
         metrics["latency_p95"] = summary["p95"]
         metrics["latency_p99"] = summary["p99"]
 
+    # Open-loop traffic extras.  Metrics are plain (name, value) rows,
+    # so per-tenant breakdowns need no schema change — just a naming
+    # convention: ``tenant_<name>_<stat>``.
+    tenants = getattr(result, "tenants", None)
+    if tenants:
+        duration = float(getattr(result, "duration", 0.0))
+        metrics["offered"] = float(result.offered)
+        metrics["shed"] = float(result.shed)
+        metrics["shed_fraction"] = float(result.shed_fraction)
+        metrics["queue_wait_p99"] = float(result.queue_wait_percentile(99))
+        metrics["logical_users"] = float(result.logical_users)
+        for name, stats in sorted(tenants.items()):
+            prefix = f"tenant_{name}_"
+            metrics[prefix + "offered"] = float(stats.offered)
+            metrics[prefix + "shed"] = float(stats.shed)
+            metrics[prefix + "completed"] = float(stats.completed)
+            metrics[prefix + "throughput"] = float(
+                stats.throughput(duration))
+            if stats.latencies.count():
+                metrics[prefix + "p50"] = float(
+                    stats.latencies.percentile(50))
+                metrics[prefix + "p99"] = float(
+                    stats.latencies.percentile(99))
+                metrics[prefix + "queue_wait_p99"] = float(
+                    stats.queue_waits.percentile(99))
+
     system = getattr(result, "system", None)
     if system is not None:
         bp_stats = system.bp.stats

@@ -21,6 +21,8 @@ from repro.sim.environment import Environment
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
+from repro.sim.wheel import (KERNELS, TimerWheel, WheelEnvironment,
+                             make_environment)
 
 __all__ = [
     "AllOf",
@@ -28,8 +30,12 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "KERNELS",
     "Process",
     "Resource",
     "Store",
+    "TimerWheel",
     "Timeout",
+    "WheelEnvironment",
+    "make_environment",
 ]

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import gc
+from functools import partial
 from heapq import heappop, heappush
-from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+from typing import (Any, Callable, Generator, Iterable, List, Optional,
+                    Tuple, Union)
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
@@ -29,14 +31,23 @@ class Environment:
     locals.  ``self._queue`` is mutated in place and never rebound —
     :meth:`wipe` relies on that, and so do the hoisted aliases in
     :meth:`run`.
+
+    ``_push`` is the one indirection the event factories go through: a
+    C-level ``partial(heappush, queue)`` here, the wheel's bound
+    ``push`` on :class:`~repro.sim.wheel.WheelEnvironment` — which is
+    how an alternative scheduler slots in behind the heap interface
+    without a branch on the hot path.
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_crash")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_crash",
+                 "_push")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0  # same-instant tie-break, incremented per schedule
+        self._push: Callable[[Tuple[float, int, Event]], None] = (
+            partial(heappush, self._queue))
         self._active_process: Optional[Process] = None
         self._crash: Optional[BaseException] = None
 
@@ -81,7 +92,7 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event for processing at ``now + delay``."""
         self._seq = seq = self._seq + 1
-        heappush(self._queue, (self._now + delay, seq, event))
+        self._push((self._now + delay, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -8,13 +8,13 @@ the event's exception inside the process).
 The classes here are on the hottest path of the simulator (every I/O,
 latch wait, and client think-time is an event), so they are written for
 throughput: ``__slots__`` everywhere, and :meth:`Event.succeed` /
-:meth:`Event.fail` push straight onto the environment's heap instead of
-going through a scheduling call.
+:meth:`Event.fail` push straight through the environment's pre-bound
+``_push`` (the heap's ``heappush`` or the timer wheel's ``push``)
+instead of going through a scheduling call.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
                     Optional)
 
@@ -85,7 +85,7 @@ class Event:
         self._value = value
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now, seq, self))
+        env._push((env._now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -102,7 +102,7 @@ class Event:
         self._value = exception
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now, seq, self))
+        env._push((env._now, seq, self))
         return self
 
     def __repr__(self) -> str:
@@ -128,7 +128,7 @@ class Timeout(Event):
         self._value = value
         self.delay = delay
         env._seq = seq = env._seq + 1
-        heappush(env._queue, (env._now + delay, seq, self))
+        env._push((env._now + delay, seq, self))
 
     @property
     def triggered(self) -> bool:

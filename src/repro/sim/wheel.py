@@ -1,0 +1,314 @@
+"""Hierarchical timer wheel: an alternative event queue for the kernel.
+
+The heap scheduler in :mod:`repro.sim.environment` pays ``O(log n)`` per
+event.  That is fine for tens of closed-loop clients, but the open-loop
+traffic layer (:mod:`repro.workloads.traffic`) keeps *hundreds of
+thousands* of homogeneous timer events pending — arrival ticks, client
+think times — where a timer wheel's ``O(1)`` bucket insert wins.
+
+:class:`TimerWheel` implements the same contract the environment's heap
+provides — push ``(when, seq, event)`` entries, pop them in exactly
+``(when, seq)`` order — as a three-tier hierarchy:
+
+* **current** — a real heap holding entries of the slot being drained
+  (and any entry scheduled at or before it, e.g. zero-delay wake-ups);
+* **near** — per-slot buckets (``tick`` seconds wide) for the next
+  ``near_slots`` slots: one dict append per push, one ``heapify`` per
+  slot drained;
+* **mid** — coarse buckets ``near_slots`` slots wide, cascaded into
+  *near* one bucket at a time as the cursor approaches;
+* **far** — a plain heap for everything beyond the mid horizon.
+
+Entries never compare their :class:`~repro.sim.events.Event` payloads:
+the ``seq`` tie-break is unique per environment, so sorting bucket
+contents reproduces heap order exactly.  A seeded run on
+:class:`WheelEnvironment` is therefore event-for-event identical to the
+same run on :class:`~repro.sim.environment.Environment` — the
+equivalence tests assert byte-identical traces.
+
+Virtual time must be non-negative (slot indexing truncates toward
+zero); the environment enforces this at construction.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, Dict, List, Optional, Tuple, Union, cast
+
+from repro.sim.environment import EmptySchedule, Environment
+from repro.sim.events import Event, SimulationError
+
+#: One scheduled entry, exactly as the heap scheduler stores it.
+Entry = Tuple[float, int, Event]
+
+
+class TimerWheel:
+    """Pending-event queue with O(1) inserts for near-future timers.
+
+    Drop-in replacement for the environment's heap list: supports
+    :meth:`push`, :meth:`pop`, :meth:`peek_when`, ``len()`` and
+    :meth:`clear`, and yields entries in identical ``(when, seq)``
+    order.
+    """
+
+    __slots__ = ("tick", "_near_width", "_span", "_cursor", "_current",
+                 "_near", "_near_slots", "_mid", "_mid_buckets", "_far",
+                 "_size")
+
+    def __init__(self, tick: float = 1e-3, near_slots: int = 256,
+                 mid_buckets: int = 64, origin: float = 0.0) -> None:
+        if tick <= 0.0:
+            raise ValueError(f"tick must be > 0, got {tick}")
+        if near_slots < 2 or mid_buckets < 2:
+            raise ValueError("near_slots and mid_buckets must be >= 2")
+        if origin < 0.0:
+            raise ValueError(f"origin must be >= 0, got {origin}")
+        self.tick = tick
+        self._near_width = near_slots
+        self._span = near_slots * mid_buckets
+        #: Slot currently being drained; every bucketed entry has a
+        #: strictly greater slot, every *current* entry an equal-or-
+        #: smaller one.
+        self._cursor = int(origin / tick)
+        self._current: List[Entry] = []
+        self._near: Dict[int, List[Entry]] = {}
+        self._near_slots: List[int] = []
+        self._mid: Dict[int, List[Entry]] = {}
+        self._mid_buckets: List[int] = []
+        self._far: List[Entry] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, entry: Entry) -> None:
+        """Insert one ``(when, seq, event)`` entry."""
+        self._size += 1
+        slot = int(entry[0] / self.tick)
+        cursor = self._cursor
+        if slot <= cursor:
+            # The slot being drained (zero-delay schedules), or earlier —
+            # possible when peek() advanced the cursor ahead of the
+            # clock; the heap keeps these correctly ordered.
+            heappush(self._current, entry)
+            return
+        distance = slot - cursor
+        if distance < self._near_width:
+            bucket = self._near.get(slot)
+            if bucket is None:
+                self._near[slot] = bucket = []
+                heappush(self._near_slots, slot)
+            bucket.append(entry)
+        elif distance < self._span:
+            index = slot // self._near_width
+            bucket = self._mid.get(index)
+            if bucket is None:
+                self._mid[index] = bucket = []
+                heappush(self._mid_buckets, index)
+            bucket.append(entry)
+        else:
+            heappush(self._far, entry)
+
+    def pop(self) -> Entry:
+        """Remove and return the globally minimal entry.
+
+        Raises :class:`IndexError` when empty (like ``heappop``).
+        """
+        if not self._current and not self._advance():
+            raise IndexError("pop from an empty timer wheel")
+        self._size -= 1
+        return heappop(self._current)
+
+    def peek_when(self) -> float:
+        """Time of the next entry, or ``inf`` when empty."""
+        if not self._current and not self._advance():
+            return float("inf")
+        return self._current[0][0]
+
+    def clear(self) -> None:
+        """Drop every entry (the environment's crash wipe).
+
+        The cursor is kept: it only ever trails the clock, so events
+        scheduled after the wipe still land at or ahead of it.
+        """
+        self._current.clear()
+        self._near.clear()
+        self._near_slots.clear()
+        self._mid.clear()
+        self._mid_buckets.clear()
+        self._far.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Cursor advancement
+    # ------------------------------------------------------------------
+
+    def _advance(self) -> bool:
+        """Refill ``_current`` with the next slot's entries.
+
+        Cascades any coarser tier whose lower bound could precede the
+        next near slot, so by the time a slot is drained it holds every
+        entry belonging to it.  Returns False when the wheel is empty.
+        """
+        near_slots = self._near_slots
+        mid_buckets = self._mid_buckets
+        far = self._far
+        tick = self.tick
+        width = self._near_width
+        while True:
+            near_bound = near_slots[0] if near_slots else None
+            if far:
+                far_bound = int(far[0][0] / tick)
+                if ((near_bound is None or far_bound <= near_bound)
+                        and (not mid_buckets
+                             or far_bound <= mid_buckets[0] * width)):
+                    self._refill_from_far(far_bound)
+                    continue
+            if mid_buckets and (near_bound is None
+                                or mid_buckets[0] * width <= near_bound):
+                self._cascade_mid()
+                continue
+            if near_bound is None:
+                return False
+            slot = heappop(near_slots)
+            entries = self._near.pop(slot)
+            heapify(entries)
+            self._current = entries
+            self._cursor = slot
+            return True
+
+    def _place_near(self, entry: Entry) -> None:
+        slot = int(entry[0] / self.tick)
+        bucket = self._near.get(slot)
+        if bucket is None:
+            self._near[slot] = bucket = []
+            heappush(self._near_slots, slot)
+        bucket.append(entry)
+
+    def _refill_from_far(self, first_slot: int) -> None:
+        """Pull one near-window worth of entries out of the far heap."""
+        far = self._far
+        limit = (first_slot + self._near_width) * self.tick
+        while far and far[0][0] < limit:
+            self._place_near(heappop(far))
+
+    def _cascade_mid(self) -> None:
+        """Re-bucket the frontmost mid bucket into per-slot near buckets."""
+        index = heappop(self._mid_buckets)
+        for entry in self._mid.pop(index):
+            self._place_near(entry)
+
+
+class WheelEnvironment(Environment):
+    """An :class:`~repro.sim.environment.Environment` scheduled by a
+    :class:`TimerWheel` instead of a binary heap.
+
+    Seeded runs are event-for-event identical to the heap kernel; only
+    the scheduling cost model differs.  Select it per run with
+    ``SystemConfig(kernel="wheel")`` or ``repro oltp/traffic --kernel
+    wheel``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, initial_time: float = 0.0,
+                 tick: float = 1e-3, near_slots: int = 256,
+                 mid_buckets: int = 64) -> None:
+        if initial_time < 0.0:
+            raise ValueError(
+                f"wheel kernel needs initial_time >= 0, got {initial_time}")
+        super().__init__(initial_time)
+        wheel = TimerWheel(tick=tick, near_slots=near_slots,
+                           mid_buckets=mid_buckets, origin=initial_time)
+        self._queue = wheel  # type: ignore[assignment]
+        self._push = wheel.push
+
+    # The base class inlines heap access in step/run/peek; mirror the
+    # same logic over the wheel's methods.
+
+    @property
+    def _wheel(self) -> TimerWheel:
+        return cast(TimerWheel, self._queue)
+
+    def peek(self) -> float:
+        return self._wheel.peek_when()
+
+    def step(self) -> None:
+        try:
+            when, _, event = self._wheel.pop()
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+            if self._crash is not None:
+                crash, self._crash = self._crash, None
+                raise crash
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        if until is None:
+            stop_at: float = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at, stop_event = float("inf"), until
+            if until.processed:
+                if not until.ok:
+                    raise until.value
+                return until.value
+        else:
+            stop_at, stop_event = float(until), None
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must not be before now ({self._now})")
+
+        wheel = self._wheel
+        while wheel:
+            if stop_event is not None and stop_event.callbacks is None:
+                break
+            if wheel.peek_when() > stop_at:
+                self._now = stop_at
+                return None
+            when, _, event = wheel.pop()
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            assert callbacks is not None
+            for callback in callbacks:
+                callback(event)
+                if self._crash is not None:
+                    crash, self._crash = self._crash, None
+                    raise crash
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "run() finished with the target event still pending")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+
+#: Registry of selectable kernels, shared by SystemConfig and the CLI.
+KERNELS = ("heap", "wheel")
+
+
+def make_environment(kernel: str = "heap",
+                     initial_time: float = 0.0) -> Environment:
+    """Build an environment running the named kernel."""
+    if kernel == "heap":
+        return Environment(initial_time)
+    if kernel == "wheel":
+        return WheelEnvironment(initial_time)
+    raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+
+
+__all__ = ["Entry", "KERNELS", "TimerWheel", "WheelEnvironment",
+           "make_environment"]

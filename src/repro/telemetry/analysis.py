@@ -150,6 +150,9 @@ class TxnRecord:
     start: float
     latency: float
     writes: int = 0
+    #: Tenant name from the multi-tenant traffic layer (None for
+    #: single-tenant / closed-loop traces).
+    tenant: Optional[str] = None
     #: Component name → attributed seconds.
     components: Dict[str, float] = field(default_factory=dict)
     #: The transaction's attributed events, for waterfall rendering.
@@ -258,6 +261,25 @@ class DesignAnalysis:
         for txn in self.txns:
             counts[txn.txn_type] = counts.get(txn.txn_type, 0) + 1
         return sorted(counts, key=lambda name: -counts[name])
+
+    def tenants(self) -> List[str]:
+        """Distinct tenant names (empty for single-tenant traces)."""
+        seen: Dict[str, None] = {}
+        for txn in self.txns:
+            if txn.tenant is not None:
+                seen.setdefault(txn.tenant)
+        return sorted(seen)
+
+    def tenant_summary(self, tenant: str) -> Dict[str, float]:
+        """count / mean / p50 / p99 latency for one tenant's transactions."""
+        values = sorted(t.latency for t in self.txns if t.tenant == tenant)
+        mean = sum(values) / len(values) if values else float("nan")
+        return {
+            "count": float(len(values)),
+            "mean": mean,
+            "p50": percentile_of(values, 50),
+            "p99": percentile_of(values, 99),
+        }
 
     # -- attribution --------------------------------------------------
 
@@ -410,6 +432,7 @@ def analyze_trace(path: str) -> DesignAnalysis:
                 start=event.get("ts", 0.0),
                 latency=event.get("dur", 0.0) or 0.0,
                 writes=int(args.get("writes", 0)),
+                tenant=args.get("tenant"),
             )
             by_txn[txn_id] = record
             for prior in pending.pop(txn_id, ()):
@@ -504,6 +527,28 @@ def format_attribution_table(analyses: Sequence[DesignAnalysis],
         f"Tail-latency attribution (ms){suffix}",
         ["design", "tail", "latency", "txns", "coverage", "dominant",
          "breakdown"],
+        rows)
+
+
+def format_tenant_table(analyses: Sequence[DesignAnalysis]) -> str:
+    """Per-tenant latency breakdown for multi-tenant traffic traces."""
+    from repro.harness.report import format_table
+
+    rows = []
+    for analysis in analyses:
+        for tenant in analysis.tenants():
+            summary = analysis.tenant_summary(tenant)
+            rows.append([
+                analysis.design,
+                tenant,
+                int(summary["count"]),
+                _ms(summary["mean"]),
+                _ms(summary["p50"]),
+                _ms(summary["p99"]),
+            ])
+    return format_table(
+        "Per-tenant latency (ms)",
+        ["design", "tenant", "txns", "mean", "p50", "p99"],
         rows)
 
 

@@ -32,16 +32,19 @@ from typing import Optional
 class TraceContext:
     """Identifies the transaction (or background activity) causing work."""
 
-    __slots__ = ("txn_id", "kind")
+    __slots__ = ("txn_id", "kind", "tenant")
 
-    def __init__(self, txn_id: Optional[int], kind: str):
+    def __init__(self, txn_id: Optional[int], kind: str,
+                 tenant: Optional[str] = None):
         self.txn_id = txn_id
         self.kind = kind
+        self.tenant = tenant
 
     @classmethod
-    def for_txn(cls, txn_id: int, txn_type: str) -> "TraceContext":
+    def for_txn(cls, txn_id: int, txn_type: str,
+                tenant: Optional[str] = None) -> "TraceContext":
         """Context for one workload transaction."""
-        return cls(txn_id, txn_type)
+        return cls(txn_id, txn_type, tenant)
 
     @classmethod
     def background(cls, origin: str) -> "TraceContext":
@@ -54,10 +57,17 @@ class TraceContext:
         return self.txn_id is None
 
     def to_args(self) -> dict:
-        """The key/value pairs merged into a trace event's ``args``."""
+        """The key/value pairs merged into a trace event's ``args``.
+
+        ``tenant`` is only emitted when set, so single-tenant traces stay
+        byte-identical to those from before the multi-tenant layer.
+        """
         if self.txn_id is None:
             return {"origin": self.kind}
-        return {"txn": self.txn_id, "txn_type": self.kind}
+        if self.tenant is None:
+            return {"txn": self.txn_id, "txn_type": self.kind}
+        return {"txn": self.txn_id, "txn_type": self.kind,
+                "tenant": self.tenant}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.txn_id is None:

@@ -22,11 +22,22 @@ from repro.workloads.distributions import NURand, ZipfGenerator
 from repro.workloads.tpcc import TpccWorkload
 from repro.workloads.tpce import TpceWorkload
 from repro.workloads.tpch import TpchWorkload
+from repro.workloads.traffic import (BurstyArrivals, DiurnalArrivals,
+                                     PoissonArrivals, TenantSpec,
+                                     parse_arrivals, parse_tenants,
+                                     single_tenant)
 
 __all__ = [
+    "BurstyArrivals",
+    "DiurnalArrivals",
     "NURand",
+    "PoissonArrivals",
+    "TenantSpec",
     "TpccWorkload",
     "TpceWorkload",
     "TpchWorkload",
     "ZipfGenerator",
+    "parse_arrivals",
+    "parse_tenants",
+    "single_tenant",
 ]

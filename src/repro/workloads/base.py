@@ -31,22 +31,32 @@ class Transaction:
     waterfalls from these.
     """
 
+    #: Process-global fallback for the bare stand-in objects unit tests
+    #: pass as ``system``.  Real :class:`~repro.harness.system.System`
+    #: instances allocate through their own ``next_txn_id`` so ids (and
+    #: hence traces) restart from 1 on every run, even the second run in
+    #: one process.
     _next_id = 0
 
     def __init__(self, system, oracle: Optional[Dict[int, int]] = None,
-                 txn_type: str = "txn"):
+                 txn_type: str = "txn", tenant: Optional[str] = None):
         self.system = system
         self.oracle = oracle
-        Transaction._next_id += 1
-        self.txn_id = Transaction._next_id
+        alloc = getattr(system, "next_txn_id", None)
+        if alloc is None:
+            Transaction._next_id += 1
+            self.txn_id = Transaction._next_id
+        else:
+            self.txn_id = alloc()
         self.txn_type = txn_type
+        self.tenant = tenant
         self.last_lsn = -1
         self.writes: List[Tuple[int, int]] = []
         telemetry = getattr(system, "telemetry", NULL_TELEMETRY)
         self._tracer = (telemetry or NULL_TELEMETRY).tracer
         self.ctx: Optional[TraceContext] = None
         if self._tracer.enabled:
-            self.ctx = TraceContext.for_txn(self.txn_id, txn_type)
+            self.ctx = TraceContext.for_txn(self.txn_id, txn_type, tenant)
         # In the simulation a transaction starts executing at the virtual
         # instant it is constructed (no yields in between).
         self._started = self._tracer.now

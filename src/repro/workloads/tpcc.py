@@ -22,8 +22,9 @@ The scaled database keeps the paper's sizing ratios: one warehouse is
 
 from __future__ import annotations
 
+import copy
 import random
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.workloads.base import AppendRegion, Transaction, choose_mix
 from repro.workloads.distributions import ZipfGenerator, scramble
@@ -55,6 +56,9 @@ class TpccWorkload:
         self.skew_theta = skew_theta
         #: Committed page versions, for crash-recovery verification.
         self.oracle = oracle
+        #: Tenant name stamped on this view's transactions (None for the
+        #: base single-tenant workload); see :meth:`tenant_view`.
+        self.tenant: Optional[str] = None
         w = warehouses
         self.stock_pages = 4 * w * pages_per_warehouse // 10
         self.customer_pages = 3 * w * pages_per_warehouse // 10
@@ -85,10 +89,40 @@ class TpccWorkload:
         self.stock = db.create_index("stock", range(self.stock_pages))
         self.customer = db.create_index("customer", range(self.customer_pages))
         self.orders = db.create_index("orders", range(self.orders_pages))
-        self._orders_next_key = self.orders_pages
+        # One-element cell, not a plain int: tenant views are shallow
+        # copies, and all of them must advance the *same* insert cursor.
+        self._orders_next: List[int] = [self.orders_pages]
         self._stock_zipf = ZipfGenerator(self.stock_pages, self.skew_theta)
         self._customer_zipf = ZipfGenerator(self.customer_pages,
                                             self.skew_theta)
+
+    def tenant_view(self, tenant: str,
+                    theta: Optional[float] = None) -> "TpccWorkload":
+        """A per-tenant view over this (already set-up) workload.
+
+        The view shares every table, the history region, and the orders
+        insert cursor with the base workload — tenants contend on the
+        same database — but stamps ``tenant`` on its transactions and,
+        when ``theta`` is given, draws its stock/customer accesses from
+        its own Zipf skew (the per-tenant noisy-neighbor knob).
+        """
+        if not hasattr(self, "stock"):
+            raise RuntimeError("tenant_view requires setup() first")
+        view = copy.copy(self)
+        view.tenant = tenant
+        if theta is not None:
+            view.skew_theta = theta
+            view._stock_zipf = ZipfGenerator(self.stock_pages, theta)
+            view._customer_zipf = ZipfGenerator(self.customer_pages, theta)
+        return view
+
+    @property
+    def _orders_next_key(self) -> int:
+        return self._orders_next[0]
+
+    @_orders_next_key.setter
+    def _orders_next_key(self, value: int) -> None:
+        self._orders_next[0] = value
 
     # ------------------------------------------------------------------
     # Page pickers (Zipf rank -> scrambled page-granular key)
@@ -121,7 +155,8 @@ class TpccWorkload:
         return name, getattr(self, "_" + name)(rng, system)
 
     def _new_order(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle, txn_type="new_order")
+        txn = Transaction(system, self.oracle, txn_type="new_order",
+                          tenant=self.tenant)
         yield from txn.update(self._district_page(rng))  # next order id
         yield from txn.index_lookup(self.customer, self._customer_key(rng))
         for _ in range(5):  # order lines (scaled from TPC-C's ~10)
@@ -141,7 +176,8 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _payment(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle, txn_type="payment")
+        txn = Transaction(system, self.oracle, txn_type="payment",
+                          tenant=self.tenant)
         yield from txn.update(self._district_page(rng))
         key = self._customer_key(rng)
         yield from txn.index_lookup(self.customer, key)
@@ -150,7 +186,8 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _order_status(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle, txn_type="order_status")
+        txn = Transaction(system, self.oracle, txn_type="order_status",
+                          tenant=self.tenant)
         yield from txn.index_lookup(self.customer, self._customer_key(rng))
         for _ in range(3):
             yield from txn.index_lookup(self.orders,
@@ -158,7 +195,8 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _delivery(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle, txn_type="delivery")
+        txn = Transaction(system, self.oracle, txn_type="delivery",
+                          tenant=self.tenant)
         for _ in range(5):  # scaled from TPC-C's 10 districts
             yield from txn.index_update(self.orders,
                                         self._recent_order_key(rng))
@@ -167,7 +205,8 @@ class TpccWorkload:
         yield from txn.commit()
 
     def _stock_level(self, rng: random.Random, system):
-        txn = Transaction(system, self.oracle, txn_type="stock_level")
+        txn = Transaction(system, self.oracle, txn_type="stock_level",
+                          tenant=self.tenant)
         yield from txn.read(self._district_page(rng))
         for _ in range(10):
             yield from txn.index_lookup(self.stock, self._stock_key(rng))
