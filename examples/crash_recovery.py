@@ -70,19 +70,27 @@ def main():
 
     # --- Sabotaged LC: skip the SSD drain at checkpoint ----------------
     system = build_system()
-    system.ssd_manager.on_checkpoint = lambda: iter(())  # the bug
-    oracle = run_committed_updates(system)
-    checkpoint = system.env.process(system.checkpointer.checkpoint())
-    system.env.run(checkpoint)
-    print("sabotaged checkpoint (no SSD drain) truncated the log anyway")
+    # The managers are slotted, so the bug is injected at the class
+    # level (and restored afterwards so other systems stay correct).
+    lc_cls = type(system.ssd_manager)
+    correct_on_checkpoint = lc_cls.on_checkpoint
+    lc_cls.on_checkpoint = lambda self: iter(())  # the bug
     try:
-        crash = system.env.process(simulate_crash_and_recover(
-            system.env, system, committed=oracle))
-        system.env.run(crash)
-    except RecoveryError as error:
-        print(f"recovery FAILED as the paper predicts: {error}")
-    else:
-        raise SystemExit("expected recovery to fail without the SSD drain")
+        oracle = run_committed_updates(system)
+        checkpoint = system.env.process(system.checkpointer.checkpoint())
+        system.env.run(checkpoint)
+        print("sabotaged checkpoint (no SSD drain) truncated the log anyway")
+        try:
+            crash = system.env.process(simulate_crash_and_recover(
+                system.env, system, committed=oracle))
+            system.env.run(crash)
+        except RecoveryError as error:
+            print(f"recovery FAILED as the paper predicts: {error}")
+        else:
+            raise SystemExit(
+                "expected recovery to fail without the SSD drain")
+    finally:
+        lc_cls.on_checkpoint = correct_on_checkpoint
 
 
 if __name__ == "__main__":

@@ -183,7 +183,8 @@ def cmd_oltp(args) -> int:
             profile=profile, nworkers=args.workers,
             dirty_threshold=args.dirty_threshold,
             checkpoint_interval=args.checkpoint_interval,
-            ftl=args.ftl, kernel=args.kernel,
+            ftl=args.ftl, partitions=args.partitions,
+            latch_us=args.latch_us, kernel=args.kernel,
             telemetry=telemetry, faults=faults,
             store=store)
         print(f"ran {design}", file=sys.stderr)
@@ -262,7 +263,8 @@ def cmd_traffic(args) -> int:
             nworkers=args.workers, queue_limit=args.queue_limit,
             dirty_threshold=args.dirty_threshold,
             checkpoint_interval=args.checkpoint_interval,
-            partitions=args.partitions, ftl=args.ftl,
+            partitions=args.partitions, latch_us=args.latch_us,
+            ftl=args.ftl,
             kernel=args.kernel, seed=args.seed,
             telemetry=telemetry, store=store)
         print(f"ran {design}", file=sys.stderr)
@@ -581,6 +583,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "write amplification; DESIGN.md §10)")
     p_oltp.add_argument("--kernel", choices=KERNELS, default="heap",
                         help="event-queue implementation (default: heap)")
+    p_oltp.add_argument("--partitions", type=int, default=None,
+                        help="partition count N for the SSD buffer table "
+                             "and the main-memory buffer pool (§3.3.4)")
+    p_oltp.add_argument("--latch-us", type=float, default=0.0,
+                        help="modeled buffer-pool partition-latch service "
+                             "time in microseconds (default 0: free "
+                             "latches, partition-count-independent runs)")
     _add_common(p_oltp)
     _add_db_flags(p_oltp)
     p_oltp.set_defaults(func=cmd_oltp)
@@ -605,8 +614,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="admission queue bound; arrivals beyond it "
                                 "are shed (default 10000)")
     p_traffic.add_argument("--partitions", type=int, default=None,
-                           help="SSD buffer-table partition count N "
-                                "(§3.3.4) — the tenant-isolation knob")
+                           help="partition count N (§3.3.4) for the SSD "
+                                "buffer table and the main-memory buffer "
+                                "pool — the tenant-isolation knob")
+    p_traffic.add_argument("--latch-us", type=float, default=20.0,
+                           help="modeled buffer-pool partition-latch "
+                                "service time in microseconds (default "
+                                "20: contention visible, so --partitions "
+                                "moves per-tenant p99; 0 disables)")
     p_traffic.add_argument("--dirty-threshold", type=float, default=None,
                            help="LC lambda (default: per-benchmark value)")
     p_traffic.add_argument("--checkpoint-interval", type=float, default=None,

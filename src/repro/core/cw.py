@@ -18,6 +18,8 @@ from repro.telemetry import EVICTION_CTX
 class CleanWriteManager(SsdManagerBase):
     """CW: never write dirty pages to the SSD."""
 
+    __slots__ = ()
+
     name = "CW"
 
     def on_evict_dirty(self, frame: Frame):

@@ -21,6 +21,8 @@ from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX
 class DualWriteManager(SsdManagerBase):
     """DW: write-through caching of dirty evictions."""
 
+    __slots__ = ()
+
     name = "DW"
 
     def on_evict_dirty(self, frame: Frame):

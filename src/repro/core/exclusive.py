@@ -26,6 +26,8 @@ from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX
 class ExclusiveSsdManager(SsdManagerBase):
     """Exclusive two-level cache: memory and SSD hold disjoint pages."""
 
+    __slots__ = ()
+
     name = "EXCL"
 
     def _read_record(self, record, ctx=None):

@@ -32,6 +32,10 @@ from repro.telemetry import CLEANER_CTX, EVICTION_CTX
 class LazyCleaningManager(SsdManagerBase):
     """LC: write-back caching of dirty evictions with a cleaner thread."""
 
+    __slots__ = ("_cleaner_started", "_cleaner_wakeup", "_above_lambda",
+                 "_cleaning_frames", "_tm_cleaner_rounds",
+                 "_tm_cleaner_pages", "_tm_lambda_crossings")
+
     name = "LC"
 
     #: Empty drain rounds between dirty-heap reseed attempts, and the

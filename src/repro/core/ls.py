@@ -79,6 +79,13 @@ class _LogBatch:
 class LogStructuredManager(SsdManagerBase):
     """LS: the SSD buffer pool as a pool of append-only segments."""
 
+    __slots__ = ("_seg_pages", "_nseg", "_open", "_cold", "_free_segs",
+                 "_seg_seq", "_next_seq", "_next_epoch", "_free_slots",
+                 "_journal", "_batch", "_pending_batches", "_reclaim_busy",
+                 "_cleaner_started", "_cleaner_wakeup", "_dirty_wakeup",
+                 "_tm_batches", "_tm_batch_pages", "_tm_reclaims",
+                 "_tm_reclaim_flushes", "_tm_relocations", "_tm_replays")
+
     name = "LS"
 
     #: Consecutive no-progress reclaim/drain rounds before failing loudly.

@@ -25,6 +25,8 @@ from repro.telemetry import CHECKPOINT_CTX, EVICTION_CTX
 class RotatingSsdManager(SsdManagerBase):
     """Rotating circular-queue SSD cache (write-back variant)."""
 
+    __slots__ = ("_next_frame",)
+
     name = "ROT"
 
     def __init__(self, *args, **kwargs):

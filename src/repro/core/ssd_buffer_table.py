@@ -79,6 +79,9 @@ class SsdRecord:
 class SsdBufferTable:
     """Buffer table + hash table + free list over S SSD frames."""
 
+    __slots__ = ("nframes", "partitions", "records", "_free", "_hash",
+                 "partition_ops", "_valid", "_dirty")
+
     def __init__(self, nframes: int, partitions: int = 1):
         if nframes < 0:
             raise ValueError(f"nframes must be >= 0, got {nframes}")
@@ -101,7 +104,8 @@ class SsdBufferTable:
         """The record caching ``page_id`` (valid or invalidated), if any."""
         record = self._hash.get(page_id)
         if record is not None:
-            self.partition_ops[self.partition_of(record)] += 1
+            # Inlined partition_of: one lookup per page access.
+            self.partition_ops[record.frame_no % self.partitions] += 1
         return record
 
     def lookup_valid(self, page_id: int) -> Optional[SsdRecord]:

@@ -19,8 +19,7 @@ Methods documented as *process steps* are generators to be driven with
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.faults.errors import (
     RETRY_BASE_DELAY,
@@ -51,7 +50,6 @@ from repro.telemetry import (
 DEGRADE_BATCH = 32
 
 
-@dataclass
 class TrimPlan:
     """Result of the §3.3.3 multi-page trimming decision.
 
@@ -60,38 +58,110 @@ class TrimPlan:
     from the SSD with individual I/Os; ``skip_in_run`` are pages inside the
     disk run whose disk copy must be discarded because a newer SSD copy is
     being read instead.
+
+    Plain ``__slots__`` class (not a dataclass): one plan per multi-page
+    read puts it on the RPL002 hot path, and the 3.10+ ``slots=True``
+    dataclass option is out of reach on this codebase's 3.9 floor.
     """
 
-    disk_start: int = 0
-    disk_count: int = 0
-    ssd_pages: Sequence[int] = ()
-    skip_in_run: FrozenSet[int] = frozenset()
+    __slots__ = ("disk_start", "disk_count", "ssd_pages", "skip_in_run")
+
+    def __init__(self, disk_start: int = 0, disk_count: int = 0,
+                 ssd_pages: Sequence[int] = (),
+                 skip_in_run: FrozenSet[int] = frozenset()):
+        self.disk_start = disk_start
+        self.disk_count = disk_count
+        self.ssd_pages = ssd_pages
+        self.skip_in_run = skip_in_run
+
+    def __repr__(self) -> str:
+        return (f"TrimPlan(disk_start={self.disk_start}, "
+                f"disk_count={self.disk_count}, "
+                f"ssd_pages={list(self.ssd_pages)!r}, "
+                f"skip_in_run={sorted(self.skip_in_run)!r})")
 
 
-@dataclass
 class SsdStats:
-    """Cumulative SSD-manager counters."""
+    """Cumulative SSD-manager counters.
 
-    reads: int = 0              # pages served from the SSD
-    writes: int = 0             # pages written to the SSD
-    declined_throttle: int = 0  # optional SSD I/Os skipped (μ)
-    invalidations: int = 0      # SSD copies invalidated on page dirty
-    evictions: int = 0          # SSD frames reclaimed by replacement
-    fallback_disk_writes: int = 0  # dirty evictions LC sent to disk
-    cleaner_pages: int = 0      # pages the LC cleaner wrote back
-    cleaner_ios: int = 0        # disk I/Os the cleaner issued
-    checkpoint_ssd_flushes: int = 0  # dirty SSD pages flushed at checkpoints
-    missed_dirty_writes: int = 0  # TAC: page dirtied before its SSD write
-    lambda_crossings: int = 0   # LC: upward crossings of the λ threshold
-    io_retries: int = 0         # SSD I/Os retried after transient faults
-    io_failures: int = 0        # SSD I/Os abandoned (budget/device death)
-    throttle_preserved: int = 0  # existing copies kept through a declined admit
-    detach_redo_pages: int = 0  # dirty pages redone to disk at SSD death
-    heap_reseeds: int = 0       # LC dirty-heap reseeds (desync recovery)
+    Hand-slotted for the same reason as :class:`TrimPlan`; the counter
+    set round-trips through :meth:`as_dict` (the sweep cache snapshots
+    and restores it with ``SsdStats(**...)``).
+    """
+
+    __slots__ = (
+        "reads",              # pages served from the SSD
+        "writes",             # pages written to the SSD
+        "declined_throttle",  # optional SSD I/Os skipped (μ)
+        "invalidations",      # SSD copies invalidated on page dirty
+        "evictions",          # SSD frames reclaimed by replacement
+        "fallback_disk_writes",   # dirty evictions LC sent to disk
+        "cleaner_pages",      # pages the LC cleaner wrote back
+        "cleaner_ios",        # disk I/Os the cleaner issued
+        "checkpoint_ssd_flushes",  # dirty SSD pages flushed at checkpoints
+        "missed_dirty_writes",    # TAC: page dirtied before its SSD write
+        "lambda_crossings",   # LC: upward crossings of the λ threshold
+        "io_retries",         # SSD I/Os retried after transient faults
+        "io_failures",        # SSD I/Os abandoned (budget/device death)
+        "throttle_preserved",  # copies kept through a declined admit
+        "detach_redo_pages",  # dirty pages redone to disk at SSD death
+        "heap_reseeds",       # LC dirty-heap reseeds (desync recovery)
+    )
+
+    def __init__(self, reads: int = 0, writes: int = 0,
+                 declined_throttle: int = 0, invalidations: int = 0,
+                 evictions: int = 0, fallback_disk_writes: int = 0,
+                 cleaner_pages: int = 0, cleaner_ios: int = 0,
+                 checkpoint_ssd_flushes: int = 0,
+                 missed_dirty_writes: int = 0, lambda_crossings: int = 0,
+                 io_retries: int = 0, io_failures: int = 0,
+                 throttle_preserved: int = 0, detach_redo_pages: int = 0,
+                 heap_reseeds: int = 0):
+        self.reads = reads
+        self.writes = writes
+        self.declined_throttle = declined_throttle
+        self.invalidations = invalidations
+        self.evictions = evictions
+        self.fallback_disk_writes = fallback_disk_writes
+        self.cleaner_pages = cleaner_pages
+        self.cleaner_ios = cleaner_ios
+        self.checkpoint_ssd_flushes = checkpoint_ssd_flushes
+        self.missed_dirty_writes = missed_dirty_writes
+        self.lambda_crossings = lambda_crossings
+        self.io_retries = io_retries
+        self.io_failures = io_failures
+        self.throttle_preserved = throttle_preserved
+        self.detach_redo_pages = detach_redo_pages
+        self.heap_reseeds = heap_reseeds
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter name → value, in slot order (snapshot format)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SsdStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"SsdStats({nonzero!r})"
 
 
 class SsdManagerBase:
     """Common implementation: table, heaps, admission, throttle, trimming."""
+
+    # The manager sits on every page miss and eviction, so RPL002 keeps
+    # its instances __dict__-free.  ``bp`` is assigned by the system
+    # wiring after construction and must stay a slot.
+    __slots__ = (
+        "env", "device", "disk", "wal", "config", "admission", "table",
+        "stats", "bp", "clean_heap", "dirty_heap", "detached",
+        "_detach_started", "_detach_complete", "telemetry", "_tracer",
+        "_tm_reads", "_tm_writes", "_tm_invalidations", "_tm_declined",
+        "_tm_evictions", "_tm_fallback", "_tm_retries",
+        "_tm_throttle_preserved",
+    )
 
     #: Name used in figures and reports; subclasses override.
     name = "base"
@@ -694,6 +764,8 @@ class SsdManagerBase:
 
 class NoSsdManager(SsdManagerBase):
     """The unmodified engine: no SSD, dirty evictions go to disk."""
+
+    __slots__ = ()
 
     name = "noSSD"
 

@@ -38,6 +38,10 @@ from repro.telemetry import ADMISSION_CTX, EVICTION_CTX
 class TemperatureAwareManager(SsdManagerBase):
     """TAC: temperature-aware second-level write-through cache."""
 
+    __slots__ = ("temperatures", "temp_heap", "_saving_ms",
+                 "_saving_seq_ms", "_tm_admission_writes",
+                 "_tm_missed_dirty")
+
     name = "TAC"
 
     def __init__(self, *args, **kwargs):

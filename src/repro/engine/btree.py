@@ -122,9 +122,11 @@ class BPlusTree:
 
     def lookup(self, bp: BufferPool, key: int, ctx=None):
         """Process step: point lookup; returns the value or None."""
-        leaf = yield from self._fetch_leaf(bp, key, for_update=False, ctx=ctx)
-        index = bisect.bisect_left(leaf.keys, key)
-        found = index < len(leaf.keys) and leaf.keys[index] == key
+        frame, leaf = yield from self._fetch_leaf_frame(bp, key, ctx=ctx)
+        frame.pin_count -= 1
+        keys = leaf.keys
+        index = bisect.bisect_left(keys, key)
+        found = index < len(keys) and keys[index] == key
         return leaf.values[index] if found else None
 
     def update(self, bp: BufferPool, key: int, txn_id: Optional[int] = None,
@@ -158,21 +160,48 @@ class BPlusTree:
             yield from self._split(bp, leaf, txn_id, ctx=ctx)
         return True
 
-    def _fetch_leaf(self, bp: BufferPool, key: int, for_update: bool,
-                    ctx=None):
-        frame, leaf = yield from self._fetch_leaf_frame(bp, key, ctx=ctx)
-        bp.unpin(frame)
-        return leaf
-
     def _fetch_leaf_frame(self, bp: BufferPool, key: int, ctx=None):
+        # The descent is the single hottest loop in an OLTP run: the
+        # inner-node pins are pure hits after warm-up, so the pin-hit
+        # fast path (the body of ``BufferPool.pin_hit``) is inlined per
+        # level and the ``fetch`` generator taken only on a miss or a
+        # busy frame.  The inline unpin releases a pin this loop itself
+        # took a few lines up (validation would be tautological).
         pid = self.root_page
+        nodes = self.nodes
+        bisect_right = bisect.bisect_right
+        if bp._latch_s:
+            # Latch service time is modeled: every pin must queue in
+            # virtual time, so each level takes the fetch generator.
+            while True:
+                frame = yield from bp.fetch(pid, ctx=ctx)
+                node = nodes[pid]
+                if node.is_leaf:
+                    return frame, node
+                next_pid = node.children[bisect_right(node.keys, key)]
+                frame.pin_count -= 1
+                pid = next_pid
+        env = bp.env
+        frames = bp.frames
+        stats = bp.stats
+        hit_inc = bp._tm_hit_inc
         while True:
-            frame = yield from bp.fetch(pid, ctx=ctx)
-            node = self.nodes[pid]
+            frame = frames.get(pid)
+            if frame is not None and frame.io_busy is None:
+                frame.pin_count += 1
+                frame.prev_access = frame.last_access
+                frame.last_access = env._now
+                bp._stamp = stamp = bp._stamp + 1
+                frame.lru_stamp = stamp
+                stats.hits += 1
+                hit_inc()
+            else:
+                frame = yield from bp.fetch(pid, ctx=ctx)
+            node = nodes[pid]
             if node.is_leaf:
                 return frame, node
-            next_pid = self._descend(node, key)
-            bp.unpin(frame)
+            next_pid = node.children[bisect_right(node.keys, key)]
+            frame.pin_count -= 1
             pid = next_pid
 
     # ------------------------------------------------------------------

@@ -12,14 +12,35 @@ Implements the storage-module flow of the paper's §2.1/§2.2:
 * dirtying a page invalidates its SSD copy;
 * multi-page read-ahead with the §3.3.3 trimming optimization.
 
+The pool is *partitioned* (DESIGN.md §13): page ids hash into
+``partitions`` shards, each owning its slice of the replacement heap, a
+FIFO latch domain with a modeled service time, and its occupancy
+accounting.  The backing page-table dict is shared storage (a single
+C-level hash map — per-shard dicts only add constant overhead in the
+host language), so ``frames`` keeps its plain-``dict`` interface.
+Victim selection takes the global minimum across the shard heap tops by
+``(prev_access, stamp, page_id)``, which makes the eviction order — and
+therefore the whole event trace when the latch service time is zero —
+independent of the partition count.
+
+Replacement bookkeeping is O(1) per access: each resident frame keeps
+exactly one live heap entry (identified by ``Frame.heap_stamp``); a
+touch only bumps ``Frame.lru_stamp``, and the entry is re-keyed lazily
+when it surfaces during victim selection.  Per-frame keys
+(``prev_access``) only ever grow, so a surfaced stale entry re-sinks
+below any current minimum and selection order matches the eager
+entry-per-touch heap exactly.
+
 All methods named as process steps (``fetch``, ``prefetch``, …) are
 generators meant to be driven with ``yield from`` inside a simulation
-process.
+process.  :meth:`BufferPool.pin_hit` is the exception by design: the
+no-I/O hit path completes without a process switch, so hot callers can
+pin without paying a generator round-trip.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim import Environment, Event
@@ -32,6 +53,13 @@ from repro.telemetry import EVICTION_CTX, NULL_TELEMETRY
 
 class BufferPoolStats:
     """Cumulative buffer-pool counters."""
+
+    __slots__ = (
+        "hits", "misses", "ssd_hits", "disk_reads", "prefetched_pages",
+        "evictions_clean", "evictions_dirty", "latch_wait_time",
+        "latch_waits", "latch_wait_by_reason", "partition_latch_waits",
+        "partition_latch_wait_time",
+    )
 
     def __init__(self):
         self.hits = 0
@@ -46,6 +74,10 @@ class BufferPoolStats:
         #: Latch wait time attributed to the cause of the latch (e.g.
         #: "eviction" write-outs vs TAC's "admission-write", §2.5).
         self.latch_wait_by_reason = {}
+        #: Fetches that queued on a partition latch (only counted when a
+        #: non-zero latch service time is modeled, DESIGN.md §13).
+        self.partition_latch_waits = 0
+        self.partition_latch_wait_time = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +90,44 @@ class BufferPoolStats:
         """Fraction of buffer-pool misses served by the SSD."""
         return self.ssd_hits / self.misses if self.misses else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """Snapshot of every counter (replaces ``vars()`` under slots)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data) -> "BufferPoolStats":
+        """Rebuild counters from an :meth:`as_dict` snapshot."""
+        stats = cls()
+        for name in cls.__slots__:
+            if name in data:
+                setattr(stats, name, data[name])
+        return stats
+
+
+class PoolPartition:
+    """One buffer-pool shard: replacement heap, latch domain, occupancy.
+
+    The latch is a FIFO single-server queue in virtual time:
+    ``busy_until`` is when the last queued page-table access completes,
+    so an arrival at ``now`` starts at ``max(now, busy_until)`` and the
+    whole queue never needs materializing (DESIGN.md §13).
+    """
+
+    __slots__ = ("index", "heap", "busy_until", "latch_waits",
+                 "latch_wait_time", "resident")
+
+    def __init__(self, index: int):
+        self.index = index
+        #: Replacement heap slice: ``(prev_access, stamp, page_id)``
+        #: entries, one live entry per resident frame of this shard.
+        self.heap: List[Tuple[float, int, PageId]] = []
+        self.busy_until = 0.0
+        self.latch_waits = 0
+        self.latch_wait_time = 0.0
+        #: Frames of this shard currently resident (its share of the
+        #: global free list).
+        self.resident = 0
+
 
 class BufferPool:
     """A fixed-capacity page cache over the disk manager and SSD manager.
@@ -65,14 +135,39 @@ class BufferPool:
     ``ssd_manager`` is any object implementing the design protocol (see
     :class:`repro.core.ssd_manager.SsdManagerBase`); the ``noSSD``
     configuration passes a :class:`repro.core.ssd_manager.NoSsdManager`.
+
+    ``partitions`` shards the replacement and latch structures by
+    ``page_id % partitions``; ``latch_seconds`` is the modeled service
+    time of one page-table access under a partition latch.  The default
+    of ``0.0`` keeps the fetch path free of latch events, so traces are
+    byte-identical for every partition count; a non-zero value makes
+    ``--partitions`` timing-relevant (per-tenant tail latency drops as
+    the latch domains multiply).
     """
+
+    __slots__ = (
+        "env", "telemetry", "_tracer", "_tm_hit", "_tm_hit_inc",
+        "_tm_ssd_hit", "_tm_disk_read", "_tm_evict_clean",
+        "_tm_evict_dirty", "_tm_latch_waits", "_tm_latch_wait_seconds",
+        "_tm_prefetched", "_tm_partition_latch", "capacity", "disk",
+        "wal", "ssd", "readahead", "expand_reads", "stats", "frames",
+        "_inflight", "_reserved", "_stamp", "_dirty", "partitions",
+        "_nparts", "_parts", "_latch_s", "checkpoint_active",
+        "_high_water", "_low_water", "_lazywriter_wake", "_frame_freed",
+        "_evicting",
+    )
 
     def __init__(self, env: Environment, capacity: int, disk: DiskManager,
                  wal: WriteAheadLog, ssd_manager,
                  readahead: Optional[ReadAhead] = None,
-                 expand_reads: bool = False, telemetry=None):
+                 expand_reads: bool = False, telemetry=None,
+                 partitions: int = 1, latch_seconds: float = 0.0):
         if capacity < 2:
             raise ValueError(f"capacity must be >= 2, got {capacity}")
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        if latch_seconds < 0:
+            raise ValueError(f"negative latch_seconds {latch_seconds}")
         self.env = env
         self.telemetry = telemetry or NULL_TELEMETRY
         registry = self.telemetry.registry
@@ -81,6 +176,7 @@ class BufferPool:
             "bp_requests_total", "Page requests by how they were served",
             labelnames=("result",))
         self._tm_hit = requests.labels(result="hit")
+        self._tm_hit_inc = self._tm_hit.inc  # pre-bound: hottest counter
         self._tm_ssd_hit = requests.labels(result="ssd_hit")
         self._tm_disk_read = requests.labels(result="disk_read")
         evictions = registry.counter(
@@ -111,9 +207,23 @@ class BufferPool:
         self.frames: Dict[PageId, Frame] = {}
         self._inflight: Dict[PageId, Event] = {}
         self._reserved = 0  # frame slots claimed by in-flight misses
-        self._lru_heap: List[Tuple[float, int, PageId]] = []
+        #: Global LRU-2 ordering stamp, shared by every partition so the
+        #: victim order is identical for any partition count.
         self._stamp = 0
-        self._stamps: Dict[PageId, int] = {}
+        self._dirty = 0  # dirty frames, maintained incrementally
+        self.partitions = partitions
+        self._nparts = partitions
+        self._parts = [PoolPartition(i) for i in range(partitions)]
+        self._latch_s = latch_seconds
+        if latch_seconds > 0.0:
+            family = registry.counter(
+                "bp_partition_latch_waits_total",
+                "Fetches that queued on a partition latch",
+                labelnames=("partition",))
+            self._tm_partition_latch = [
+                family.labels(partition=str(i)) for i in range(partitions)]
+        else:
+            self._tm_partition_latch = None
         #: Set by the checkpointer while a sharp checkpoint is running.
         self.checkpoint_active = False
         # Lazy-writer machinery: evictions run in a background process
@@ -144,7 +254,7 @@ class BufferPool:
     @property
     def dirty_count(self) -> int:
         """Dirty frames currently in the pool."""
-        return sum(1 for f in self.frames.values() if f.dirty)
+        return self._dirty
 
     @property
     def used(self) -> int:
@@ -155,9 +265,38 @@ class BufferPool:
         """The frame for ``page_id`` if currently resident, else None."""
         return self.frames.get(page_id)
 
+    def partition_occupancy(self) -> List[int]:
+        """Resident frames per partition (the sharded free-list view)."""
+        return [part.resident for part in self._parts]
+
     # ------------------------------------------------------------------
     # Fetch path
     # ------------------------------------------------------------------
+
+    def pin_hit(self, page_id: PageId) -> Optional[Frame]:
+        """Pin and return ``page_id``'s frame iff this needs no waiting.
+
+        The no-I/O, no-latch hit path of :meth:`fetch` as a plain call:
+        hot callers try this first and fall back to the ``fetch``
+        generator only on a miss, a latched frame, or when a partition
+        latch service time is modeled (which must queue in virtual
+        time).  Returns None when the caller must take ``fetch``.
+        """
+        if self._latch_s:
+            return None
+        frame = self.frames.get(page_id)
+        if frame is None or frame.io_busy is not None:
+            return None
+        frame.pin_count += 1
+        # Inlined _touch: resident frames always own a live heap entry,
+        # so a hit only bumps the LRU-2 history and the global stamp.
+        frame.prev_access = frame.last_access
+        frame.last_access = self.env._now
+        self._stamp = stamp = self._stamp + 1
+        frame.lru_stamp = stamp
+        self.stats.hits += 1
+        self._tm_hit_inc()
+        return frame
 
     def fetch(self, page_id: PageId, ctx=None):
         """Process step: pin and return the frame for ``page_id``.
@@ -166,49 +305,58 @@ class BufferPool:
         ``ctx`` (a :class:`~repro.telemetry.TraceContext`) attributes
         every wait and I/O along the way to the causing transaction.
         """
+        if self._latch_s:
+            yield from self._latch(self._parts[page_id % self._nparts],
+                                   ctx=ctx)
+        env = self.env
+        frames = self.frames
+        stats = self.stats
         while True:
-            frame = self.frames.get(page_id)
+            frame = frames.get(page_id)
             if frame is not None:
                 if frame.io_busy is not None:
                     # Latch conflict: an I/O owns the frame (e.g. TAC's
                     # write-to-SSD-after-read, §2.5) — wait and retry.
-                    started = self.env.now
+                    started = env._now
                     reason = frame.busy_reason or "unknown"
-                    self.stats.latch_waits += 1
+                    stats.latch_waits += 1
                     self._tm_latch_waits.labels(reason=reason).inc()
                     yield frame.io_busy
-                    waited = self.env.now - started
-                    self.stats.latch_wait_time += waited
-                    by_reason = self.stats.latch_wait_by_reason
+                    waited = env._now - started
+                    stats.latch_wait_time += waited
+                    by_reason = stats.latch_wait_by_reason
                     by_reason[reason] = by_reason.get(reason, 0.0) + waited
                     self._tm_latch_wait_seconds.observe(waited)
                     if self._tracer.enabled:
                         self._tracer.complete("latch_wait", started,
-                                              self.env.now, "bp",
+                                              env._now, "bp",
                                               "buffer_pool",
                                               {"reason": reason}, ctx=ctx)
                     continue
                 frame.pin_count += 1
-                self._touch(frame)
-                self.stats.hits += 1
-                self._tm_hit.inc()
+                frame.prev_access = frame.last_access
+                frame.last_access = env._now
+                self._stamp = stamp = self._stamp + 1
+                frame.lru_stamp = stamp
+                stats.hits += 1
+                self._tm_hit_inc()
                 return frame
 
             pending = self._inflight.get(page_id)
             if pending is not None:
-                started = self.env.now
+                started = env._now
                 yield pending
                 if self._tracer.enabled:
                     self._tracer.complete("inflight_wait", started,
-                                          self.env.now, "bp", "buffer_pool",
+                                          env._now, "bp", "buffer_pool",
                                           ctx=ctx)
                 continue
 
             # Miss: this process performs the read.
-            done = self.env.event()
+            done = env.event()
             self._inflight[page_id] = done
             self._reserved += 1
-            self.stats.misses += 1
+            stats.misses += 1
             try:
                 frame = yield from self._read_in(page_id, ctx=ctx)
             finally:
@@ -216,10 +364,46 @@ class BufferPool:
                 # reset this bookkeeping while the read was in flight.
                 self._reserved = max(0, self._reserved - 1)
                 self._inflight.pop(page_id, None)
-                done.succeed()
+                if done.callbacks:
+                    done.succeed()
+                else:
+                    # No second fetcher piled up behind this miss; the
+                    # event left the registry above, so nothing can
+                    # reach it anymore — retire it off-queue.
+                    done.settle()
             frame.pin_count = 1
             self._touch(frame)
             return frame
+
+    def _latch(self, part: PoolPartition, ctx=None):
+        """Process step: one page-table access under the partition latch.
+
+        FIFO single-server queue in virtual time: the request starts
+        when the previous one completes and holds the latch for the
+        modeled service time.  Only reached when ``latch_seconds > 0``.
+        """
+        env = self.env
+        now = env._now
+        start = part.busy_until
+        if start < now:
+            start = now
+        service = self._latch_s
+        part.busy_until = start + service
+        wait = start - now
+        if wait > 0.0:
+            part.latch_waits += 1
+            part.latch_wait_time += wait
+            stats = self.stats
+            stats.partition_latch_waits += 1
+            stats.partition_latch_wait_time += wait
+            counters = self._tm_partition_latch
+            if counters is not None:
+                counters[part.index].inc()
+            if self._tracer.enabled:
+                self._tracer.complete("partition_latch", now, start, "bp",
+                                      "buffer_pool",
+                                      {"partition": part.index}, ctx=ctx)
+        yield env.timeout(wait + service)
 
     def _read_in(self, page_id: PageId, ctx=None):
         """Process step: bring a missing page in (SSD first, else disk).
@@ -248,6 +432,7 @@ class BufferPool:
                 # records for this version were forced before the page
                 # ever reached the SSD, so no new WAL force is needed.)
                 frame.dirty = True
+                self._dirty += 1
             self.frames[page_id] = frame
             return frame
 
@@ -335,7 +520,10 @@ class BufferPool:
             for pid in wanted:
                 if self._inflight.get(pid) is done:
                     del self._inflight[pid]
-            done.succeed()
+            if done.callbacks:
+                done.succeed()
+            else:
+                done.settle()
 
     def _disk_run(self, start: PageId, npages: int, skip=frozenset()):
         versions = yield from self.disk.read(start, npages, sequential=True)
@@ -389,16 +577,28 @@ class BufferPool:
         any SSD copy (§2.2: "the copy of the page in the SSD is
         invalidated by the SSD manager").
         """
-        if not frame.pinned:
+        if frame.pin_count <= 0:
             raise ValueError(f"updating unpinned frame {frame!r}")
         frame.version += 1
         frame.page_lsn = self.wal.append(frame.page_id, frame.version,
                                          txn_id=txn_id)
         if not frame.dirty:
             frame.rec_lsn = frame.page_lsn
-        frame.dirty = True
+            frame.dirty = True
+            self._dirty += 1
         self.ssd.invalidate(frame.page_id)
         return frame.page_lsn
+
+    def mark_clean(self, frame: Frame) -> None:
+        """A flushed frame's memory copy now matches durable storage.
+
+        Used by the checkpointer; keeps the incremental dirty count in
+        step and resets the recovery LSN.
+        """
+        if frame.dirty:
+            frame.dirty = False
+            self._dirty -= 1
+        frame.rec_lsn = -1
 
     def unpin(self, frame: Frame) -> None:
         """Release one pin."""
@@ -422,42 +622,90 @@ class BufferPool:
         frame = Frame(page_id, version=0, sequential=False)
         frame.pin_count = 1
         frame.dirty = True
+        self._dirty += 1
         frame.page_lsn = self.wal.append(page_id, 0)
         self.frames[page_id] = frame
         self._touch(frame)
         return frame
 
     # ------------------------------------------------------------------
-    # Replacement (LRU-2, lazy-deletion heap)
+    # Replacement (LRU-2, partitioned lazy heap: one entry per frame)
     # ------------------------------------------------------------------
 
     def _touch(self, frame: Frame) -> None:
-        frame.record_access(self.env.now)
-        self._push(frame)
-
-    def _push(self, frame: Frame) -> None:
-        self._stamp += 1
-        self._stamps[frame.page_id] = self._stamp
-        heapq.heappush(self._lru_heap,
-                       (frame.lru2_key(), self._stamp, frame.page_id))
+        frame.prev_access = frame.last_access
+        frame.last_access = self.env._now
+        self._stamp = stamp = self._stamp + 1
+        frame.lru_stamp = stamp
+        if frame.heap_stamp == 0:
+            # First touch after install: enheap the frame's single live
+            # entry and charge its shard's occupancy.
+            frame.heap_stamp = stamp
+            part = self._parts[frame.page_id % self._nparts]
+            part.resident += 1
+            heappush(part.heap, (frame.prev_access, stamp, frame.page_id))
 
     def _pick_victim(self) -> Optional[Frame]:
         """Pop the LRU-2 victim: oldest penultimate access, unpinned."""
-        deferred = []
-        victim = None
-        while self._lru_heap:
-            key, stamp, page_id = heapq.heappop(self._lru_heap)
-            frame = self.frames.get(page_id)
-            if frame is None or self._stamps.get(page_id) != stamp:
-                continue  # stale entry
-            if frame.pinned or frame.io_busy is not None:
-                deferred.append((key, stamp, page_id))
+        victims = self._pick_victims(1)
+        return victims[0] if victims else None
+
+    def _pick_victims(self, want: int) -> List[Frame]:
+        """Pop up to ``want`` LRU-2 victims across all partitions.
+
+        Each shard heap is first cleaned to a *current* top — garbage
+        entries (evicted or superseded frames) are dropped, entries of
+        since-touched frames are re-keyed in place — then the global
+        minimum of the shard tops by ``(prev_access, stamp, page_id)``
+        is taken, which reproduces the single-heap victim order for any
+        partition count.  Pinned or latched minima are set aside and
+        re-enheaped after the batch, exactly as the eager heap deferred
+        them.
+        """
+        frames = self.frames
+        parts = self._parts
+        victims: List[Frame] = []
+        deferred: List[Tuple[List[Tuple[float, int, PageId]],
+                             Tuple[float, int, PageId]]] = []
+        while len(victims) < want:
+            best = None
+            best_heap = None
+            for part in parts:
+                heap = part.heap
+                while heap:
+                    entry = heap[0]
+                    frame = frames.get(entry[2])
+                    if frame is None or frame.heap_stamp != entry[1]:
+                        heappop(heap)  # garbage: frame gone or superseded
+                        continue
+                    if frame.lru_stamp != entry[1]:
+                        # Touched since enheaped: re-key lazily.  The new
+                        # key/stamp are strictly larger, so the entry
+                        # sinks (or stays a *current* top) and the loop
+                        # makes progress.
+                        heappop(heap)
+                        stamp = frame.lru_stamp
+                        frame.heap_stamp = stamp
+                        heappush(heap,
+                                 (frame.prev_access, stamp, entry[2]))
+                        continue
+                    break
+                if heap:
+                    entry = heap[0]
+                    if best is None or entry < best:
+                        best = entry
+                        best_heap = heap
+            if best is None:
+                break
+            heappop(best_heap)
+            frame = frames[best[2]]
+            if frame.pin_count > 0 or frame.io_busy is not None:
+                deferred.append((best_heap, best))
                 continue
-            victim = frame
-            break
-        for entry in deferred:
-            heapq.heappush(self._lru_heap, entry)
-        return victim
+            victims.append(frame)
+        for heap, entry in deferred:
+            heappush(heap, entry)
+        return victims
 
     # ------------------------------------------------------------------
     # Lazy writer (background eviction)
@@ -484,16 +732,15 @@ class BufferPool:
         while True:
             deficit = self._high_water - self.free_frames - self._evicting
             stuck = False
-            while deficit > 0:
-                victim = self._pick_victim()
-                if victim is None:
+            if deficit > 0:
+                victims = self._pick_victims(deficit)
+                for victim in victims:
+                    victim.io_busy = self.env.event()  # reserve first
+                    victim.busy_reason = "eviction"
+                    self._evicting += 1
+                    self.env.process(self._evict(victim))
+                if len(victims) < deficit:
                     stuck = self.free_frames + self._evicting <= 0
-                    break
-                victim.io_busy = self.env.event()  # reserve before spawning
-                victim.busy_reason = "eviction"
-                self._evicting += 1
-                self.env.process(self._evict(victim))
-                deficit -= 1
             if stuck:
                 # Everything pinned/busy — wait for the world to change.
                 yield self.env.timeout(0.0005)
@@ -506,8 +753,13 @@ class BufferPool:
             yield self._lazywriter_wake
 
     def _signal_freed(self) -> None:
-        event, self._frame_freed = self._frame_freed, self.env.event()
-        event.succeed()
+        # Rotate only when somebody waits: an un-observed free needs no
+        # event (a later waiter subscribes to the same object and the
+        # next signal wakes it, exactly as the eager rotation did).
+        event = self._frame_freed
+        if event.callbacks:
+            self._frame_freed = self.env.event()
+            event.succeed()
 
     def _ensure_free_frames(self, needed: int = 0, ctx=None):
         """Process step: wait until the caller's (already reserved) claim
@@ -555,8 +807,12 @@ class BufferPool:
                 self.stats.evictions_dirty += 1
                 self._tm_evict_dirty.inc()
                 # WAL rule: log records for the page must be durable before
-                # the page goes to the SSD or disk (§2.4).
-                yield from self.wal.force(victim.page_lsn, ctx=EVICTION_CTX)
+                # the page goes to the SSD or disk (§2.4).  Skip the
+                # generator when a group commit already covered the LSN
+                # (force() would return without yielding anyway).
+                wal = self.wal
+                if victim.page_lsn > wal.flushed_lsn:
+                    yield from wal.force(victim.page_lsn, ctx=EVICTION_CTX)
                 yield from self.ssd.on_evict_dirty(victim)
                 if tracer.enabled:
                     tracer.complete("evict_dirty", started, self.env.now,
@@ -573,10 +829,19 @@ class BufferPool:
         finally:
             if self.frames.get(victim.page_id) is victim:
                 del self.frames[victim.page_id]
-            self._stamps.pop(victim.page_id, None)
+                part = self._parts[victim.page_id % self._nparts]
+                part.resident -= 1
+                if victim.dirty:
+                    self._dirty -= 1
             victim.io_busy = None
             victim.busy_reason = None
-            busy.succeed()
+            if busy.callbacks:
+                busy.succeed()
+            else:
+                # No fetcher hit the latch during the write-out; the
+                # frame no longer references the event, so retire it
+                # off-queue.
+                busy.settle()
             self._evicting = max(0, self._evicting - 1)
             self._signal_freed()
             self._kick_lazywriter()
@@ -592,10 +857,13 @@ class BufferPool:
     def drop_all(self) -> None:
         """Discard every frame without writing (crash simulation)."""
         self.frames.clear()
-        self._stamps.clear()
-        self._lru_heap.clear()
         self._inflight.clear()
         self._reserved = 0
+        self._dirty = 0
+        for part in self._parts:
+            part.heap.clear()
+            part.resident = 0
+            part.busy_until = 0.0
 
     def crash_reset(self) -> None:
         """Hard-crash restart: drop volatile state and restart services.

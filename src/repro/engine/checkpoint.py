@@ -114,8 +114,7 @@ class Checkpointer:
         yield from self.bp.ssd.checkpoint_write(frame)
         # Only clear the dirty bit if no update raced with the write.
         if frame.version == version_written:
-            frame.dirty = False
-            frame.rec_lsn = -1
+            self.bp.mark_clean(frame)
 
 
 class FuzzyCheckpointer(Checkpointer):

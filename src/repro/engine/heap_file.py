@@ -50,14 +50,17 @@ class HeapFile:
                 f"scan range [{first}, {first + count}) outside {self.name}")
 
         ra = bp.readahead
+        pin_hit = bp.pin_hit
         trigger = min(ra.trigger_pages, count)
         scanned = 0
         # Leading pages: read individually before read-ahead engages.
         for pid in range(first, first + trigger):
-            frame = yield from bp.fetch(pid, ctx=ctx)
+            frame = pin_hit(pid)
+            if frame is None:
+                frame = yield from bp.fetch(pid, ctx=ctx)
             if accuracy is not None:
                 accuracy.score(frame.sequential, True)
-            bp.unpin(frame)
+            frame.pin_count -= 1
             scanned += 1
         # Remaining pages: pipelined read-ahead — keep ``ra.depth``
         # prefetch batches in flight ahead of the consume position so the
@@ -80,9 +83,11 @@ class HeapFile:
                 launched += 1
             yield inflight.pop(index)
             for pid in range(start_page, start_page + batch):
-                frame = yield from bp.fetch(pid, ctx=ctx)
+                frame = pin_hit(pid)
+                if frame is None:
+                    frame = yield from bp.fetch(pid, ctx=ctx)
                 if accuracy is not None:
                     accuracy.score(frame.sequential, True)
-                bp.unpin(frame)
+                frame.pin_count -= 1
                 scanned += 1
         return scanned

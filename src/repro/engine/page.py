@@ -25,7 +25,7 @@ class Frame:
     __slots__ = (
         "page_id", "version", "dirty", "pin_count", "sequential",
         "page_lsn", "rec_lsn", "last_access", "prev_access", "io_busy",
-        "busy_reason",
+        "busy_reason", "lru_stamp", "heap_stamp",
     )
 
     def __init__(self, page_id: PageId, version: int = 0,
@@ -45,6 +45,16 @@ class Frame:
         #: LRU-2 history: most recent and second-most-recent access times.
         self.last_access = 0.0
         self.prev_access = float("-inf")
+        #: Global LRU-2 ordering stamp of the latest access (ties on
+        #: ``prev_access`` break by recency of touch, as the eager heap
+        #: did via one entry per touch).
+        self.lru_stamp = 0
+        #: Stamp carried by this frame's single live replacement-heap
+        #: entry; 0 while the frame has never been enheaped.  An entry
+        #: whose stamp differs from the frame's ``heap_stamp`` is
+        #: garbage; one that matches ``heap_stamp`` but not ``lru_stamp``
+        #: is re-keyed lazily at victim-selection time.
+        self.heap_stamp = 0
         #: Event held while an I/O owns this frame exclusively (e.g. TAC
         #: writing a freshly read page to the SSD); fetchers must wait on
         #: it, which is exactly the latch contention §2.5 describes.

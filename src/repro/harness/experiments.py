@@ -130,14 +130,18 @@ def make_system(benchmark: str, workload, design: str,
                 expand_reads: bool = False,
                 ftl: bool = False,
                 partitions: Optional[int] = None,
+                latch_us: float = 0.0,
                 kernel: str = "heap",
                 telemetry=None, faults=None) -> System:
     """Assemble a system sized for ``workload`` running ``design``.
 
     ``ftl=True`` models the SSD's internals (erase blocks, GC, WAF
     accounting; DESIGN.md §10) instead of the flat Table 1 timing.
-    ``partitions`` overrides the SSD buffer table's partition count N
-    (§3.3.4) — the isolation knob the multi-tenant experiments sweep.
+    ``partitions`` overrides the partition count N (§3.3.4) shared by
+    the SSD buffer table and the main-memory buffer pool — the
+    isolation knob the multi-tenant experiments sweep.  ``latch_us``
+    models the buffer-pool partition-latch service time (0 keeps the
+    latch free and traces partition-count-independent).
     ``kernel`` picks the event-queue implementation ("heap"/"wheel").
     """
     ssd_frames = 0 if design == "noSSD" else profile.ssd_frames
@@ -161,6 +165,7 @@ def make_system(benchmark: str, workload, design: str,
         expand_reads=expand_reads,
         slack_pages=max(256, workload.db_pages() // 20),
         kernel=kernel,
+        bp_latch_us=latch_us,
     )
     return System(config, telemetry=telemetry, faults=faults)
 
@@ -174,6 +179,8 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                         bucket_seconds: float = 2.0,
                         expand_reads: bool = False,
                         ftl: bool = False,
+                        partitions: Optional[int] = None,
+                        latch_us: float = 0.0,
                         kernel: str = "heap",
                         seed: int = 20110612,
                         telemetry=None, faults=None,
@@ -194,6 +201,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
                          dirty_threshold=dirty_threshold,
                          checkpoint_interval=checkpoint_interval,
                          expand_reads=expand_reads, ftl=ftl,
+                         partitions=partitions, latch_us=latch_us,
                          kernel=kernel,
                          telemetry=telemetry, faults=faults)
     tracer = system.telemetry.tracer
@@ -213,6 +221,7 @@ def run_oltp_experiment(benchmark: str, scale: int, design: str,
             "dirty_threshold": dirty_threshold,
             "checkpoint_interval": checkpoint_interval,
             "expand_reads": expand_reads, "ftl": ftl,
+            "partitions": partitions, "latch_us": latch_us,
             "kernel": kernel,
             "faulted": faults is not None,
         }, result)
@@ -228,6 +237,7 @@ def run_traffic_experiment(benchmark: str, scale: int, design: str,
                            dirty_threshold: Optional[float] = None,
                            checkpoint_interval: Optional[float] = None,
                            partitions: Optional[int] = None,
+                           latch_us: float = 0.0,
                            ftl: bool = False,
                            kernel: str = "heap",
                            seed: int = 20110612,
@@ -240,8 +250,11 @@ def run_traffic_experiment(benchmark: str, scale: int, design: str,
     string (``name=poisson:rate=...:theta=...;...``).  Offered load is
     set by the tenants' arrival rates — a run representing a million
     logical users still uses ``nworkers`` simulated workers and at most
-    ``queue_limit`` queued arrivals.  ``partitions`` sweeps the SSD
-    partition knob N the isolation experiments measure against.
+    ``queue_limit`` queued arrivals.  ``partitions`` sweeps the
+    partition knob N (SSD buffer table and main-memory buffer pool
+    together) the isolation experiments measure against; ``latch_us``
+    models the buffer-pool partition-latch service time, which is what
+    makes the sweep move per-tenant tail latency.
     """
     profile = profile or SCALE_PROFILES["default"]
     if isinstance(tenants, str):
@@ -250,7 +263,8 @@ def run_traffic_experiment(benchmark: str, scale: int, design: str,
     system = make_system(benchmark, workload, design, profile,
                          dirty_threshold=dirty_threshold,
                          checkpoint_interval=checkpoint_interval,
-                         ftl=ftl, partitions=partitions, kernel=kernel,
+                         ftl=ftl, partitions=partitions,
+                         latch_us=latch_us, kernel=kernel,
                          telemetry=telemetry, faults=faults)
     tracer = system.telemetry.tracer
     if tracer.enabled:
@@ -270,7 +284,8 @@ def run_traffic_experiment(benchmark: str, scale: int, design: str,
             "bucket_seconds": bucket_seconds, "seed": seed,
             "dirty_threshold": dirty_threshold,
             "checkpoint_interval": checkpoint_interval,
-            "partitions": partitions, "ftl": ftl, "kernel": kernel,
+            "partitions": partitions, "latch_us": latch_us,
+            "ftl": ftl, "kernel": kernel,
             "tenants": ";".join(spec.name for spec in tenants),
             "logical_users": result.logical_users,
             "faulted": faults is not None,

@@ -186,22 +186,29 @@ class WorkloadRunner:
             "txn_latency_seconds", "Transaction latency by type",
             labelnames=("type",))
         histograms = {}
+        env = system.env
+        transaction = workload.transaction
+        txn_counts = result.txn_counts
+        record_latency = result.latencies.record
+        buckets = result.buckets
+        bucket_seconds = self.bucket_seconds
+        start_time = result.start_time
         while not self._stopped:
-            name, body = workload.transaction(rng, system)
-            started = system.env.now
+            name, body = transaction(rng, system)
+            started = env._now
             yield from body
-            result.txn_counts[name] = result.txn_counts.get(name, 0) + 1
-            latency = system.env.now - started
-            result.latencies.record(name, latency)
+            now = env._now
+            txn_counts[name] = txn_counts.get(name, 0) + 1
+            latency = now - started
+            record_latency(name, latency)
             histogram = histograms.get(name)
             if histogram is None:
                 histogram = histograms[name] = latency_family.labels(type=name)
             histogram.observe(latency)
             if name == metric_txn:
-                bucket = int((system.env.now - result.start_time)
-                             / self.bucket_seconds)
+                bucket = int((now - start_time) / bucket_seconds)
                 if 0 <= bucket < nbuckets:
-                    result.buckets[bucket] += 1
+                    buckets[bucket] += 1
 
 
 class OpenLoopRunner:

@@ -187,7 +187,7 @@ def snapshot(result: Any) -> Dict[str, Any]:
 
 def _snapshot_oltp(result: RunResult) -> Dict[str, Any]:
     system = result.system
-    bp_stats = vars(system.bp.stats).copy()
+    bp_stats = system.bp.stats.as_dict()
     manager = system.ssd_manager
     checkpointer = system.checkpointer
     ftl = getattr(system.ssd_device, "ftl", None)
@@ -219,7 +219,7 @@ def _snapshot_oltp(result: RunResult) -> Dict[str, Any]:
             # Fault outcomes must survive restore too: a replayed cache
             # hit records the same run-store row as the live run did.
             "detached": manager.detached,
-            "stats": vars(manager.stats).copy(),
+            "stats": manager.stats.as_dict(),
             "invalid_count": manager.table.invalid_count,
             "config": {
                 "ssd_frames": manager.config.ssd_frames,
@@ -280,8 +280,7 @@ def restore(data: Dict[str, Any]) -> Any:
     for txn, values in data["latency_samples"].items():
         latencies._samples[txn] = list(values)
 
-    bp_stats = BufferPoolStats()
-    bp_stats.__dict__.update(data["bp_stats"])
+    bp_stats = BufferPoolStats.from_dict(data["bp_stats"])
 
     ssd = data["ssd"]
     manager = _Attrs(

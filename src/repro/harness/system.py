@@ -49,8 +49,19 @@ class SystemConfig:
     #: Event-queue implementation: "heap" (default) or "wheel" (the
     #: hierarchical timer wheel — same event order, O(1) timer inserts).
     kernel: str = "heap"
+    #: Modeled buffer-pool partition-latch service time in microseconds.
+    #: 0 (the default) keeps latches free — any partition count then
+    #: produces byte-identical traces.  Nonzero values queue every fetch
+    #: through its partition's latch in virtual time, which is what makes
+    #: ``--partitions`` timing-relevant for per-tenant tail latency.
+    #: The buffer pool's partition *count* rides on ``ssd.partitions``
+    #: (the §3.3.4 N), so one knob shards both pools together.
+    bp_latch_us: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.bp_latch_us < 0:
+            raise ValueError(
+                f"bp_latch_us must be >= 0, got {self.bp_latch_us}")
         if self.design not in DESIGNS:
             raise ValueError(
                 f"unknown design {self.design!r}; choose from {sorted(DESIGNS)}")
@@ -104,7 +115,9 @@ class System:
             readahead=ReadAhead(config.readahead_pages,
                                 config.readahead_trigger),
             expand_reads=config.expand_reads,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry,
+            partitions=config.ssd.partitions,
+            latch_seconds=config.bp_latch_us * 1e-6)
         self.ssd_manager.bp = self.bp
         self.ssd_manager.start_cleaner()
         checkpointer_cls = (FuzzyCheckpointer

@@ -137,22 +137,56 @@ class Environment:
         # The inlined step loop.  ``queue`` aliases self._queue (mutated in
         # place everywhere, including wipe()), so the alias stays valid
         # across callbacks that crash or wipe the environment.
-        queue = self._queue
-        pop = heappop
-        while queue:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            if queue[0][0] > stop_at:
-                self._now = stop_at
-                return None
-            when, _, event = pop(queue)
-            self._now = when
-            callbacks, event.callbacks = event.callbacks, None
-            for callback in callbacks:
-                callback(event)
-                if self._crash is not None:
-                    crash, self._crash = self._crash, None
-                    raise crash
+        #
+        # The cyclic collector is paused for the duration of the loop: a
+        # run churns through millions of short-lived generators, events,
+        # and schedule tuples, which keeps the generational thresholds
+        # permanently tripped, while almost none of that garbage is
+        # cyclic (finished processes drop their frames by refcount).
+        # Pausing collection roughly halves end-to-end run wall time at
+        # a few tens of MB of peak RSS; anything cyclic is reclaimed by
+        # the re-enabled collector after the loop (and ``wipe()`` calls
+        # ``gc.collect()`` explicitly, which works while paused).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            queue = self._queue
+            pop = heappop
+            if stop_event is None:
+                # Run-until-time is the workload-driver case and covers
+                # the overwhelming majority of events, so it gets its
+                # own loop without the per-event stop-event probe.
+                while queue:
+                    if queue[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    when, _, event = pop(queue)
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                        if self._crash is not None:
+                            crash, self._crash = self._crash, None
+                            raise crash
+            else:
+                while queue:
+                    if stop_event.callbacks is None:
+                        break
+                    if queue[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    when, _, event = pop(queue)
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                        if self._crash is not None:
+                            crash, self._crash = self._crash, None
+                            raise crash
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         if stop_event is not None:
             if not stop_event.processed:

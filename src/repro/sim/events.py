@@ -88,6 +88,27 @@ class Event:
         env._push((env._now, seq, self))
         return self
 
+    def settle(self, value: Any = None) -> "Event":
+        """Trigger *and retire* an event nobody is waiting on.
+
+        Equivalent to :meth:`succeed` immediately followed by the
+        kernel's callback pass, minus the queue round-trip: the event
+        ends up *processed* (``callbacks is None``) without ever being
+        scheduled.  Only valid while the callback list is empty **and**
+        no new subscriber can reach the event (e.g. it was already
+        removed from whatever registry handed it out).  Skipping the
+        schedule is order-preserving: every later sequence number shifts
+        down uniformly, so the relative order of all real events is
+        unchanged.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        assert not self.callbacks, "settle() on an event with waiters"
+        self._ok = True
+        self._value = value
+        self.callbacks = None
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception.
 

@@ -16,9 +16,10 @@ only slot attributes and locals.
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt, SimulationError
+from repro.sim.events import _PENDING, Event, Interrupt, SimulationError
 
 if TYPE_CHECKING:
     from repro.sim.environment import Environment
@@ -31,16 +32,28 @@ class Process(Event):
 
     def __init__(self, env: "Environment",
                  generator: Generator[Any, Any, Any]) -> None:
-        if not hasattr(generator, "send"):
+        # Exact-type check first: real generators are the only thing the
+        # engine ever spawns, so the duck-typing fallback is cold.
+        if type(generator) is not GeneratorType and \
+                not hasattr(generator, "send"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
         self._generator = generator
         self._target: Optional[Event] = None
-        # Bootstrap: resume the process at time `now`.
-        bootstrap = Event(env)
-        assert bootstrap.callbacks is not None
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        # Bootstrap: resume the process at time `now`.  Inlined
+        # construct-subscribe-succeed of a throwaway Event — one per
+        # spawned process, so the generic pending-state check and the
+        # separate append are dead weight here.
+        bootstrap = Event.__new__(Event)
+        bootstrap.env = env
+        bootstrap.callbacks = [self._resume]
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._seq = seq = env._seq + 1
+        env._push((env._now, seq, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -88,7 +101,12 @@ class Process(Event):
                     self._fail_or_crash(exc)
                     return
 
-                if not isinstance(target, Event):
+                # Everything the engine yields is an Event; fetching its
+                # callback list doubles as the type check (AttributeError
+                # on a non-event is the cold error path).
+                try:
+                    target_callbacks = target.callbacks
+                except AttributeError:
                     exc = SimulationError(
                         f"process yielded a non-event: {target!r}")
                     self._target = None
@@ -102,12 +120,12 @@ class Process(Event):
                         return
                     continue
 
-                if target.callbacks is None:
+                if target_callbacks is None:
                     # Already processed: loop immediately with its value.
                     event = target
                     continue
                 self._target = target
-                target.callbacks.append(self._resume)
+                target_callbacks.append(self._resume)
                 return
         finally:
             env._active_process = None

@@ -32,6 +32,7 @@ zero); the environment enforces this at construction.
 
 from __future__ import annotations
 
+import gc
 from heapq import heapify, heappop, heappush
 from typing import Any, Dict, List, Optional, Tuple, Union, cast
 
@@ -52,8 +53,7 @@ class TimerWheel:
     """
 
     __slots__ = ("tick", "_near_width", "_span", "_cursor", "_current",
-                 "_near", "_near_slots", "_mid", "_mid_buckets", "_far",
-                 "_size")
+                 "_near", "_near_slots", "_mid", "_mid_buckets", "_far")
 
     def __init__(self, tick: float = 1e-3, near_slots: int = 256,
                  mid_buckets: int = 64, origin: float = 0.0) -> None:
@@ -70,23 +70,31 @@ class TimerWheel:
         #: strictly greater slot, every *current* entry an equal-or-
         #: smaller one.
         self._cursor = int(origin / tick)
+        #: Mutated in place and never rebound (``current[:] = ...`` on
+        #: refill) — the same aliasing contract ``Environment._queue``
+        #: keeps, so the inlined run loop can hold a direct reference.
         self._current: List[Entry] = []
         self._near: Dict[int, List[Entry]] = {}
         self._near_slots: List[int] = []
         self._mid: Dict[int, List[Entry]] = {}
         self._mid_buckets: List[int] = []
         self._far: List[Entry] = []
-        self._size = 0
 
     def __len__(self) -> int:
-        return self._size
+        # Derived, not counted: maintaining a size counter costs an
+        # in-place attribute update on every push *and* pop, and the
+        # hot paths never ask for the length.
+        return (len(self._current) + len(self._far)
+                + sum(len(b) for b in self._near.values())
+                + sum(len(b) for b in self._mid.values()))
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        # _near_slots/_mid_buckets are non-empty iff their dicts are.
+        return bool(self._current or self._near_slots
+                    or self._mid_buckets or self._far)
 
     def push(self, entry: Entry) -> None:
         """Insert one ``(when, seq, event)`` entry."""
-        self._size += 1
         slot = int(entry[0] / self.tick)
         cursor = self._cursor
         if slot <= cursor:
@@ -117,10 +125,10 @@ class TimerWheel:
 
         Raises :class:`IndexError` when empty (like ``heappop``).
         """
-        if not self._current and not self._advance():
+        current = self._current
+        if not current and not self._advance():
             raise IndexError("pop from an empty timer wheel")
-        self._size -= 1
-        return heappop(self._current)
+        return heappop(current)
 
     def peek_when(self) -> float:
         """Time of the next entry, or ``inf`` when empty."""
@@ -140,7 +148,6 @@ class TimerWheel:
         self._mid.clear()
         self._mid_buckets.clear()
         self._far.clear()
-        self._size = 0
 
     # ------------------------------------------------------------------
     # Cursor advancement
@@ -176,7 +183,9 @@ class TimerWheel:
             slot = heappop(near_slots)
             entries = self._near.pop(slot)
             heapify(entries)
-            self._current = entries
+            # In-place refill (never rebind): outstanding aliases of
+            # _current — the environment's inlined run loop — stay valid.
+            self._current[:] = entries
             self._cursor = slot
             return True
 
@@ -266,22 +275,56 @@ class WheelEnvironment(Environment):
                 raise ValueError(
                     f"until ({stop_at}) must not be before now ({self._now})")
 
-        wheel = self._wheel
-        while wheel:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            if wheel.peek_when() > stop_at:
-                self._now = stop_at
-                return None
-            when, _, event = wheel.pop()
-            self._now = when
-            callbacks, event.callbacks = event.callbacks, None
-            assert callbacks is not None
-            for callback in callbacks:
-                callback(event)
-                if self._crash is not None:
-                    crash, self._crash = self._crash, None
-                    raise crash
+        # Collector paused for the loop, exactly as in Environment.run:
+        # the event churn is allocation-heavy but almost never cyclic.
+        #
+        # The loop drains ``wheel._current`` directly — the wheel keeps
+        # that list in place (refills assign ``current[:] = ...``), so
+        # the alias survives cascades and crash wipes, and the common
+        # case costs one heappop instead of two method calls
+        # (peek_when + pop).  ``advance`` is only entered on slot
+        # boundaries; per-event cost matches the heap kernel's loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            wheel = self._wheel
+            current = wheel._current
+            advance = wheel._advance
+            pop = heappop
+            if stop_event is None:
+                while current or advance():
+                    if current[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    when, _, event = pop(current)
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    assert callbacks is not None
+                    for callback in callbacks:
+                        callback(event)
+                        if self._crash is not None:
+                            crash, self._crash = self._crash, None
+                            raise crash
+            else:
+                while current or advance():
+                    if stop_event.callbacks is None:
+                        break
+                    if current[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    when, _, event = pop(current)
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    assert callbacks is not None
+                    for callback in callbacks:
+                        callback(event)
+                        if self._crash is not None:
+                            crash, self._crash = self._crash, None
+                            raise crash
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         if stop_event is not None:
             if not stop_event.processed:

@@ -3,7 +3,8 @@
 Every rule encodes an invariant another PR established at runtime:
 
 * RPL001 tracer-guard      — zero-cost telemetry off-path (PR 5)
-* RPL002 slots-hotpath     — ``__slots__`` on the event kernel (PR 5)
+* RPL002 slots-hotpath     — ``__slots__`` on the event kernel (PR 5;
+  PR 10 extended the roots to the buffer pool and the SSD managers)
 * RPL003 determinism       — seeded, replayable simulation (PRs 1–5)
 * RPL004 fault-safety      — device I/O reaches retry/degradation (PR 4)
 * RPL005 no-swallow        — no silently swallowed exceptions (PR 4)
@@ -131,7 +132,14 @@ class SlotsHotpathRule(Rule):
     description = ("classes on the simulator hot path (and their "
                    "subclasses) must declare __slots__")
     #: Where hot-path classes are *defined* (subclasses are found anywhere).
-    hotpath_roots: Sequence[str] = ("repro/sim/", "repro/storage/request.py")
+    #: The engine/core entries cover the partitioned buffer pool and the
+    #: SSD managers: one frame/record per page and one manager vtable hit
+    #: per fetch put their attribute storage on the same budget as the
+    #: kernel's events.
+    hotpath_roots: Sequence[str] = (
+        "repro/sim/", "repro/storage/request.py",
+        "repro/engine/buffer_pool.py", "repro/engine/page.py",
+        "repro/core/ssd_manager.py", "repro/core/ssd_buffer_table.py")
     #: Findings are only emitted for first-party sources, not test files.
     paths = ("repro/",)
 

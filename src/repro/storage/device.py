@@ -183,34 +183,39 @@ class Device:
 
     def _serve(self, request: IORequest, done: Event):
         failure = None
+        env = self.env
+        channels = self.channels
+        slot = channels.request()
         try:
-            with self.channels.request() as slot:
-                yield slot
-                service = self.service_time(request)
-                if self.faults is not None:
-                    extra = self.faults.pre_service_delay(request, service)
-                    if extra > 0:
-                        yield self.env.timeout(extra)
-                yield self.env.timeout(service)
-                if self.faults is not None:
-                    failure = self.faults.on_complete(request)
-                if failure is None:
-                    request.completed_at = self.env.now
-                    self.stats.record(request, service)
-                    self._tm_requests[request.kind].inc()
-                    self._tm_pages[request.kind].inc(request.npages)
-                    if self._tracer.enabled:
-                        self._tracer.complete(KIND_LABELS[request.kind],
-                                              request.submitted_at,
-                                              self.env.now, "io",
-                                              self._trace_track,
-                                              ctx=request.ctx)
-                    if self.traffic is not None:
-                        self.traffic.record(self.env.now, request)
+            yield slot
+            service = self.service_time(request)
+            faults = self.faults
+            if faults is not None:
+                extra = faults.pre_service_delay(request, service)
+                if extra > 0:
+                    yield env.timeout(extra)
+            yield env.timeout(service)
+            if faults is not None:
+                failure = faults.on_complete(request)
+            if failure is None:
+                request.completed_at = env._now
+                self.stats.record(request, service)
+                self._tm_requests[request.kind].inc()
+                self._tm_pages[request.kind].inc(request.npages)
+                if self._tracer.enabled:
+                    self._tracer.complete(KIND_LABELS[request.kind],
+                                          request.submitted_at,
+                                          env._now, "io",
+                                          self._trace_track,
+                                          ctx=request.ctx)
+                if self.traffic is not None:
+                    self.traffic.record(env._now, request)
         finally:
-            # The decrement must survive any exit path: leaking one
-            # outstanding count per failed I/O would permanently inflate
-            # ``pending`` and wedge the §3.3.2 throttle shut.
+            # Release + decrement must survive any exit path: a leaked
+            # channel would starve the queue, and a leaked outstanding
+            # count would permanently inflate ``pending`` and wedge the
+            # §3.3.2 throttle shut.
+            channels.release(slot)
             self._outstanding -= 1
         if failure is not None:
             done.fail(failure)

@@ -64,17 +64,21 @@ class Transaction:
     def read(self, page_id: int):
         """Process step: read one page (fetch + unpin)."""
         bp = self.system.bp
-        frame = yield from bp.fetch(page_id, ctx=self.ctx)
-        bp.unpin(frame)
+        frame = bp.pin_hit(page_id)
+        if frame is None:
+            frame = yield from bp.fetch(page_id, ctx=self.ctx)
+        frame.pin_count -= 1
         return frame
 
     def update(self, page_id: int):
         """Process step: read-modify-write one page."""
         bp = self.system.bp
-        frame = yield from bp.fetch(page_id, ctx=self.ctx)
+        frame = bp.pin_hit(page_id)
+        if frame is None:
+            frame = yield from bp.fetch(page_id, ctx=self.ctx)
         self.last_lsn = bp.mark_dirty(frame, txn_id=self.txn_id)
         self.writes.append((frame.page_id, frame.version))
-        bp.unpin(frame)
+        frame.pin_count -= 1
         return frame
 
     def index_lookup(self, tree, key: int):
@@ -87,7 +91,7 @@ class Transaction:
         frame, leaf = yield from tree._fetch_leaf_frame(bp, key, ctx=self.ctx)
         self.last_lsn = bp.mark_dirty(frame, txn_id=self.txn_id)
         self.writes.append((frame.page_id, frame.version))
-        bp.unpin(frame)
+        frame.pin_count -= 1
 
     def index_insert(self, tree, key: int):
         """Process step: B+-tree insert (may split pages)."""
@@ -100,7 +104,9 @@ class Transaction:
     def commit(self):
         """Process step: force the log through this transaction's tail."""
         if self.last_lsn >= 0:
-            yield from self.system.wal.force(self.last_lsn, ctx=self.ctx)
+            wal = self.system.wal
+            if self.last_lsn > wal.flushed_lsn:
+                yield from wal.force(self.last_lsn, ctx=self.ctx)
             if self.oracle is not None:
                 for page_id, version in self.writes:
                     if version > self.oracle.get(page_id, -1):

@@ -141,24 +141,25 @@ class TestLcDegradationRedo:
 
 
 class TestThrottlePreserve:
-    def test_declined_admission_keeps_the_existing_copy(self):
+    def test_declined_admission_keeps_the_existing_copy(self, monkeypatch):
         """Regression: the throttle decline must happen *before* the
         existing record is dropped — drop-then-decline destroyed a valid
         SSD copy without replacing it."""
         sys_ = make("CW")
         mgr = sys_.ssd_manager
         assert drive(sys_.env, mgr._cache_page(7, 1, dirty=False))
-        mgr._throttled = lambda: True
+        # Managers are slotted (RPL002): patch the class, not the instance.
+        monkeypatch.setattr(type(mgr), "_throttled", lambda self: True)
         assert not drive(sys_.env, mgr._cache_page(7, 2, dirty=False))
         record = mgr.table.lookup_valid(7)
         assert record is not None and record.version == 1
         assert mgr.stats.throttle_preserved == 1
         assert mgr.stats.declined_throttle == 1
 
-    def test_preserve_counts_only_when_a_copy_existed(self):
+    def test_preserve_counts_only_when_a_copy_existed(self, monkeypatch):
         sys_ = make("CW")
         mgr = sys_.ssd_manager
-        mgr._throttled = lambda: True
+        monkeypatch.setattr(type(mgr), "_throttled", lambda self: True)
         assert not drive(sys_.env, mgr._cache_page(8, 1, dirty=False))
         assert mgr.stats.declined_throttle == 1
         assert mgr.stats.throttle_preserved == 0
@@ -183,12 +184,14 @@ class TestLcDrainLiveness:
         assert mgr.stats.heap_reseeds >= 1
         assert sys_.disk.disk_version(5) == 3
 
-    def test_counter_desync_fails_loudly(self):
+    def test_counter_desync_fails_loudly(self, monkeypatch):
         sys_ = self.desynced_lc()
         mgr = sys_.ssd_manager
         # Table claims dirty pages exist but exposes none: the counters
-        # themselves are inconsistent — refuse to spin forever.
-        mgr.table.occupied_records = lambda: []
+        # themselves are inconsistent — refuse to spin forever.  The
+        # table is slotted, so the sabotage goes on the class.
+        monkeypatch.setattr(type(mgr.table), "occupied_records",
+                            lambda self: [])
         with pytest.raises(RuntimeError, match="desync"):
             drive(sys_.env, mgr.on_checkpoint())
 

@@ -102,12 +102,15 @@ class TestRecovery:
         drive(system.env, simulate_crash_and_recover(
             system.env, system, committed=oracle))
 
-    def test_lc_without_ssd_flush_loses_updates(self):
+    def test_lc_without_ssd_flush_loses_updates(self, monkeypatch):
         """Remove LC's checkpoint flush and recovery must fail: this is
         why §3.2 modifies the checkpoint logic."""
         system = make_system("LC")
-        # Sabotage: make the LC checkpoint skip the SSD drain.
-        system.ssd_manager.on_checkpoint = lambda: iter(())
+        # Sabotage: make the LC checkpoint skip the SSD drain.  Managers
+        # are slotted (RPL002), so the patch goes on the class; the
+        # monkeypatch fixture restores it after the test.
+        monkeypatch.setattr(type(system.ssd_manager), "on_checkpoint",
+                            lambda self: iter(()))
         oracle = run_updates(system, seed=3)
         if system.ssd_manager.dirty_frames == 0:
             pytest.skip("no dirty SSD pages accumulated")

@@ -77,7 +77,7 @@ class TestRoundTrip:
         restored = restore(cache_load(SPEC, tmp_path))
         live_sys = live_result.system
         got = restored.system
-        assert vars(got.bp.stats) == vars(live_sys.bp.stats)
+        assert got.bp.stats.as_dict() == live_sys.bp.stats.as_dict()
         assert got.ssd_manager.stats == live_sys.ssd_manager.stats
         assert got.ssd_manager.dirty_frames == live_sys.ssd_manager.dirty_frames
         assert (got.ssd_manager.config.dirty_limit_frames
